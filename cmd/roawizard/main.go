@@ -1,0 +1,95 @@
+// Command roawizard implements the paper's §8 recommendation for RIR user
+// interfaces: given looking-glass (BGP table) data and an origin AS, it
+// suggests the minimal ROA the operator should configure — no maxLength,
+// exactly the announced prefixes — plus a compressed equivalent, and audits
+// an existing ROA (from a VRP CSV) for vulnerable, stale, and missing
+// entries.
+//
+// Usage:
+//
+//	roawizard -bgp table.txt -as 31283 [-audit vrps.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/rpki"
+)
+
+func main() {
+	var (
+		bgpPath  = flag.String("bgp", "", "BGP table dump (looking-glass data, required)")
+		asFlag   = flag.String("as", "", "origin AS to advise (required)")
+		auditCSV = flag.String("audit", "", "audit this VRP CSV's entries for the AS instead of only suggesting")
+	)
+	flag.Parse()
+	if *bgpPath == "" || *asFlag == "" {
+		fmt.Fprintln(os.Stderr, "roawizard: -bgp and -as are required")
+		os.Exit(2)
+	}
+	as, err := rpki.ParseASN(*asFlag)
+	if err != nil {
+		log.Fatalf("roawizard: %v", err)
+	}
+	f, err := os.Open(*bgpPath)
+	if err != nil {
+		log.Fatalf("roawizard: %v", err)
+	}
+	table, err := bgp.ReadTable(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("roawizard: %v", err)
+	}
+
+	s, ok := core.Suggest(as, table)
+	if !ok {
+		fmt.Printf("%s announces no prefixes in the BGP data; no ROA is needed.\n", as)
+		return
+	}
+	if err := core.RenderSuggestion(os.Stdout, s); err != nil {
+		log.Fatal(err)
+	}
+
+	if *auditCSV == "" {
+		return
+	}
+	af, err := os.Open(*auditCSV)
+	if err != nil {
+		log.Fatalf("roawizard: %v", err)
+	}
+	set, err := rpki.ReadCSV(af)
+	af.Close()
+	if err != nil {
+		log.Fatalf("roawizard: %v", err)
+	}
+	roa := rpki.ROA{AS: as}
+	for _, v := range set.VRPs() {
+		if v.AS == as {
+			roa.Prefixes = append(roa.Prefixes, rpki.ROAPrefix{Prefix: v.Prefix, MaxLength: v.MaxLength})
+		}
+	}
+	if len(roa.Prefixes) == 0 {
+		fmt.Printf("\naudit: no existing entries for %s in %s\n", as, *auditCSV)
+		return
+	}
+	findings := core.Audit(roa, table)
+	if len(findings) == 0 {
+		fmt.Printf("\naudit: the existing ROA for %s is minimal — no findings.\n", as)
+		return
+	}
+	fmt.Printf("\naudit of the existing ROA for %s (%d findings):\n", as, len(findings))
+	for _, fd := range findings {
+		switch fd.Kind {
+		case core.VulnerableEntry, core.StaleEntry:
+			fmt.Printf("  [%s] entry %-28s %s\n", fd.Kind, fd.Entry, fd.Detail)
+		default:
+			fmt.Printf("  [%s] prefix %-27s %s\n", fd.Kind, fd.Prefix, fd.Detail)
+		}
+	}
+	os.Exit(1) // findings => non-zero, for scripting
+}

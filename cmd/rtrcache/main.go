@@ -1,0 +1,79 @@
+// Command rtrcache runs the Figure 1 "trusted local cache": it loads a VRP
+// CSV (optionally compressing it first with the §7 algorithm), serves it to
+// routers over the RPKI-to-Router protocol, and re-reads the file on SIGHUP,
+// pushing incremental updates to connected routers.
+//
+// Usage:
+//
+//	rtrcache -vrps vrps.csv [-listen :8282] [-compress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/rpki"
+	"repro/internal/rtr"
+)
+
+func main() {
+	var (
+		vrpsPath = flag.String("vrps", "", "VRP CSV file to serve (required)")
+		listen   = flag.String("listen", "127.0.0.1:8282", "listen address")
+		compress = flag.Bool("compress", false, "compress the PDU list before serving (§7)")
+	)
+	flag.Parse()
+	if *vrpsPath == "" {
+		fmt.Fprintln(os.Stderr, "rtrcache: -vrps is required")
+		os.Exit(2)
+	}
+	set, err := loadSet(*vrpsPath, *compress)
+	if err != nil {
+		log.Fatalf("rtrcache: %v", err)
+	}
+	srv := rtr.NewServer(set)
+	srv.Logf = log.Printf
+	log.Printf("rtrcache: serving %d PDUs on %s (serial %d, session %#x)",
+		set.Len(), *listen, srv.Serial(), srv.SessionID())
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			next, err := loadSet(*vrpsPath, *compress)
+			if err != nil {
+				log.Printf("rtrcache: reload failed: %v", err)
+				continue
+			}
+			srv.UpdateSet(next)
+			log.Printf("rtrcache: reloaded %d PDUs, serial now %d", next.Len(), srv.Serial())
+		}
+	}()
+	log.Fatal(srv.ListenAndServe(*listen))
+}
+
+func loadSet(path string, compress bool) (*rpki.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := rpki.ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if compress {
+		compressed, res := core.Compress(set, core.Options{})
+		if err := core.VerifyCompression(set, compressed); err != nil {
+			return nil, err
+		}
+		log.Printf("rtrcache: compressed %d -> %d PDUs (%.2f%%)", res.In, res.Out, 100*res.SavedFraction())
+		set = compressed
+	}
+	return set, nil
+}

@@ -1,0 +1,65 @@
+// Command rtrclient plays the router side of Figure 1: it connects to an
+// RPKI-to-Router cache, synchronizes the validated prefix table, prints it
+// as CSV, and (with -follow) keeps applying incremental updates as the cache
+// announces them.
+//
+// Usage:
+//
+//	rtrclient [-cache 127.0.0.1:8282] [-follow] [-version 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/rpki"
+	"repro/internal/rtr"
+)
+
+func main() {
+	var (
+		cache   = flag.String("cache", "127.0.0.1:8282", "cache address")
+		follow  = flag.Bool("follow", false, "stay connected and apply serial updates")
+		version = flag.Int("version", 1, "protocol version (0 or 1)")
+	)
+	flag.Parse()
+	c, err := rtr.Dial(*cache)
+	if err != nil {
+		log.Fatalf("rtrclient: %v", err)
+	}
+	defer c.Close()
+	switch *version {
+	case 0:
+		c.Version = rtr.Version0
+	case 1:
+		c.Version = rtr.Version1
+	default:
+		log.Fatalf("rtrclient: bad -version %d", *version)
+	}
+	serial, err := c.Sync()
+	if err != nil {
+		log.Fatalf("rtrclient: sync: %v", err)
+	}
+	log.Printf("rtrclient: synchronized %d VRPs at serial %d (session %#x)",
+		c.Len(), serial, c.SessionID())
+	if err := rpki.WriteCSV(os.Stdout, c.Set()); err != nil {
+		log.Fatalf("rtrclient: %v", err)
+	}
+	if !*follow {
+		return
+	}
+	for {
+		notified, err := c.WaitNotify()
+		if err != nil {
+			log.Fatalf("rtrclient: notify: %v", err)
+		}
+		serial, err := c.Sync()
+		if err != nil {
+			log.Fatalf("rtrclient: sync: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs\n",
+			notified, serial, c.Len())
+	}
+}

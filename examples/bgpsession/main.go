@@ -1,0 +1,109 @@
+// Bgpsession replays the paper's §4 attack over an actual BGP-4 session:
+// an attacker speaker peers with a route server that validates announcements
+// against the RPKI (RFC 6811) before accepting them.
+//
+// With the victim's non-minimal maxLength ROA installed, the forged-origin
+// subprefix announcement sails through validation; after hardening to the
+// minimal ROA, the same announcement is dropped as Invalid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/bgp"
+	"repro/internal/prefix"
+	"repro/internal/rov"
+	"repro/internal/rpki"
+)
+
+func main() {
+	for _, hardened := range []bool{false, true} {
+		if err := runSession(hardened); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func runSession(hardened bool) error {
+	label := "non-minimal maxLength ROA (168.122.0.0/16-24)"
+	vrps := []rpki.VRP{{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 24, AS: 111}}
+	if hardened {
+		label = "minimal ROA {168.122.0.0/16, 168.122.225.0/24}"
+		vrps = []rpki.VRP{
+			{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
+			{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
+		}
+	}
+	fmt.Printf("== route server validating with the %s ==\n", label)
+	ix := rov.NewIndex(rpki.NewSet(vrps))
+
+	// TCP loopback: speakers both send OPEN before reading, so the
+	// transport must buffer (an unbuffered in-memory pipe would deadlock).
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	attackerConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return err
+	}
+	serverConn := <-accepted
+	attacker := bgp.NewSpeaker(attackerConn, 666, 0x0a000002)
+	server := bgp.NewSpeaker(serverConn, 64500, 0x0a000001)
+	defer attacker.Close()
+	defer server.Close()
+
+	handshake := make(chan error, 1)
+	go func() {
+		_, err := server.Handshake()
+		handshake <- err
+	}()
+	if _, err := attacker.Handshake(); err != nil {
+		return fmt.Errorf("attacker handshake: %w", err)
+	}
+	if err := <-handshake; err != nil {
+		return fmt.Errorf("server handshake: %w", err)
+	}
+	fmt.Printf("session up: AS%d <-> AS%d\n", attacker.AS, attacker.PeerAS())
+
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- server.ReadLoop(func(a bgp.Announcement) bool {
+			state := ix.Validate(a.Prefix, a.Origin())
+			fmt.Printf("  UPDATE %-18s path %-12v -> %v\n", a.Prefix, a.Path, state)
+			return state != rov.Invalid
+		})
+	}()
+
+	// The forged-origin subprefix hijack: path claims AS 111 as origin.
+	hijack := bgp.Announcement{
+		Prefix: prefix.MustParse("168.122.0.0/24"),
+		Path:   []rpki.ASN{666, 111},
+	}
+	if err := attacker.Announce(hijack); err != nil {
+		return err
+	}
+	// Drain: close the session so the loop returns, then inspect the RIB.
+	attacker.Close()
+	if err := <-loopDone; err != nil {
+		return err
+	}
+	if server.RIBInTable().ContainsPrefix(hijack.Prefix) {
+		fmt.Println("result: hijack route INSTALLED — all traffic for the /24 now flows to AS 666")
+	} else {
+		fmt.Println("result: hijack route rejected — the minimal ROA closed the hole")
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Deaggregation walks through the paper's running example (§2–§5): Boston
+// University's AS 111 and 168.122.0.0/16.
+//
+// It shows (1) why de-aggregating under a minimal ROA breaks, (2) how the
+// maxLength shortcut fixes de-aggregation but opens the forged-origin
+// subprefix hijack, and (3) how the minimal multi-prefix ROA gives the same
+// operational flexibility without the attack surface.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rov"
+	"repro/internal/rpki"
+)
+
+func main() {
+	p16 := prefix.MustParse("168.122.0.0/16")
+	p24 := prefix.MustParse("168.122.225.0/24")  // the TE de-aggregation
+	hijack := prefix.MustParse("168.122.0.0/24") // authorized but unannounced
+	const bu, attacker = rpki.ASN(111), rpki.ASN(666)
+
+	table := bgp.NewTable([]bgp.Route{
+		{Prefix: p16, Origin: bu},
+		{Prefix: p24, Origin: bu},
+	})
+
+	fmt.Println("== 1. Minimal ROA without the /24: de-aggregation breaks ==")
+	roa1 := rpki.NewSet([]rpki.VRP{{Prefix: p16, MaxLength: 16, AS: bu}})
+	ix1 := rov.NewIndex(roa1)
+	fmt.Printf("  %v: origin %v -> %v   (the /16 works)\n", p16, bu, ix1.Validate(p16, bu))
+	fmt.Printf("  %v: origin %v -> %v (the TE /24 is dropped!)\n", p24, bu, ix1.Validate(p24, bu))
+
+	fmt.Println("\n== 2. The maxLength shortcut: ROA (168.122.0.0/16-24, AS 111) ==")
+	roa2 := rpki.NewSet([]rpki.VRP{{Prefix: p16, MaxLength: 24, AS: bu}})
+	ix2 := rov.NewIndex(roa2)
+	fmt.Printf("  %v: origin %v -> %v (de-aggregation now valid)\n", p24, bu, ix2.Validate(p24, bu))
+	fmt.Printf("  %v: \"path (%v, %v)\" -> %v (forged-origin subprefix hijack is ALSO valid)\n",
+		hijack, attacker, bu, ix2.Validate(hijack, bu))
+	rep := core.AnalyzeVulnerabilities(roa2, table, true)
+	for _, vu := range rep.Vulnerabilities {
+		fmt.Printf("  vulnerability: %v leaves %d authorized routes unannounced; witness %v\n",
+			vu.VRP, vu.UnannouncedRoutes, vu.Witness)
+	}
+
+	fmt.Println("\n== 3. The fix: a minimal ROA listing exactly the announced prefixes ==")
+	minimal := core.Minimalize(roa2, table)
+	fmt.Printf("  Minimalize => %v\n", minimal.VRPs())
+	ix3 := rov.NewIndex(minimal)
+	fmt.Printf("  %v: origin %v -> %v (de-aggregation still valid)\n", p24, bu, ix3.Validate(p24, bu))
+	fmt.Printf("  %v: \"path (%v, %v)\" -> %v (the hijack is now Invalid)\n",
+		hijack, attacker, bu, ix3.Validate(hijack, bu))
+	if ok, _ := core.IsMinimal(minimal, table); ok {
+		fmt.Println("  the converted ROA is minimal: it authorizes exactly what BGP announces")
+	}
+}

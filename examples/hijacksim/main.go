@@ -1,0 +1,44 @@
+// Hijacksim quantifies the paper's attack comparison (§4–§5) on a synthetic
+// 1000-AS Internet: how much traffic does the attacker capture under each
+// attack/defense combination?
+//
+// Expected shape (the paper's argument):
+//   - subprefix hijack with no ROV:            ~100%  (longest-prefix match)
+//   - forged-origin subprefix vs maxLength ROA: ~100%  (ROV cannot help — §4)
+//   - forged-origin same-prefix vs minimal ROA: well under 50% (traffic splits — §5)
+//   - subprefix hijack vs minimal ROA + ROV:      0%  (dropped as Invalid)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bgpsim"
+)
+
+func main() {
+	topo := bgpsim.Generate(bgpsim.GenerateParams{Seed: 2017, N: 1000})
+	fmt.Printf("topology: %d ASes (tier-1 clique + middle tier + edge)\n\n", topo.N())
+
+	// One concrete embedding first, with the running-example prefixes.
+	s := bgpsim.RunningExampleSetup(topo, topo.N()-3, topo.N()-11)
+	fmt.Printf("single trial (victim node %d, attacker node %d):\n", s.Victim, s.Attacker)
+	for k := bgpsim.SubprefixNoROV; k <= bgpsim.ForgedOriginPrefix; k++ {
+		r := bgpsim.RunScenario(k, s)
+		fmt.Printf("  %-58s %5.1f%%\n", r.Kind, 100*r.CaptureRate)
+	}
+
+	// Then the mean over 32 independent victim/attacker embeddings.
+	fmt.Printf("\nmean over 32 trials:\n")
+	rates := bgpsim.RunAll(topo, 32)
+	if err := bgpsim.RenderResults(os.Stdout, rates); err != nil {
+		log.Fatal(err)
+	}
+
+	if rates[bgpsim.ForgedOriginSubprefix] > 2*rates[bgpsim.ForgedOriginPrefix] {
+		fmt.Println("\nconclusion: the forged-origin SUBPREFIX hijack (enabled by non-minimal")
+		fmt.Println("maxLength ROAs) is dramatically stronger than the same-prefix variant —")
+		fmt.Println("\"as bad as a subprefix hijack\", which the RPKI was built to stop.")
+	}
+}

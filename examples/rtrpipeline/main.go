@@ -1,0 +1,126 @@
+// Rtrpipeline runs the complete Figure 1 pipeline in one process:
+//
+//	signed ROA repository --scan--> validated VRPs --compress (§7)-->
+//	RTR cache --RPKI-to-Router over TCP--> router client --> origin validation
+//
+// It then updates the repository (simulating an operator hardening a
+// non-minimal ROA) and shows the incremental update reaching the router.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rov"
+	"repro/internal/rpki"
+	"repro/internal/rpkix"
+	"repro/internal/rtr"
+)
+
+func main() {
+	// 1. Publish a signed repository: a TA, one CA, two ROAs — one of them
+	//    a non-minimal maxLength ROA.
+	dir, err := buildRepository()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The local cache scans and cryptographically validates the objects.
+	scan, err := rpkix.ScanROAs(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scan: %d ROAs validated, %d rejected -> %d VRPs\n",
+		len(scan.ROAs), len(scan.Rejected), scan.VRPs.Len())
+
+	// 3. Compress the PDU list before serving it (the §7 toolchain).
+	pdus, res := core.Compress(scan.VRPs, core.Options{})
+	if err := core.VerifyCompression(scan.VRPs, pdus); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compress: %d -> %d PDUs (%.1f%% saved)\n", res.In, res.Out, 100*res.SavedFraction())
+
+	// 4. Serve over RPKI-to-Router and sync a router client.
+	srv := rtr.NewServer(pdus)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	router, err := rtr.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+	serial, err := router.Sync()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router: synchronized %d VRPs at serial %d\n", router.Len(), serial)
+
+	// 5. The router validates announcements with its synchronized table.
+	ix := rov.NewIndex(router.Set())
+	hijack := prefix.MustParse("168.122.0.0/24")
+	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (maxLength ROA leaves it Valid!)\n",
+		hijack, ix.Validate(hijack, 111))
+
+	// 6. The operator hardens the ROA to a minimal one; the cache pushes an
+	//    incremental update; the router revalidates.
+	minimal := rpki.NewSet([]rpki.VRP{
+		{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
+		{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
+		{Prefix: prefix.MustParse("87.254.32.0/19"), MaxLength: 19, AS: 31283},
+	})
+	srv.UpdateSet(minimal)
+	if _, err := router.WaitNotify(); err != nil {
+		log.Fatal(err)
+	}
+	serial, err = router.Sync()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router: incremental update to serial %d (%d VRPs)\n", serial, router.Len())
+	ix = rov.NewIndex(router.Set())
+	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (hardened: now Invalid)\n",
+		hijack, ix.Validate(hijack, 111))
+}
+
+func buildRepository() (string, error) {
+	dir, err := os.MkdirTemp("", "rtrpipeline-repo")
+	if err != nil {
+		return "", err
+	}
+	repo, err := rpkix.NewRepository("Pipeline TA")
+	if err != nil {
+		return "", err
+	}
+	ca, err := repo.AddCA("Pipeline CA", []string{"168.122.0.0/16", "87.254.32.0/19"})
+	if err != nil {
+		return "", err
+	}
+	roas := []rpki.ROA{
+		// The §4 non-minimal ROA.
+		{AS: 111, Prefixes: []rpki.ROAPrefix{
+			{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 24},
+		}},
+		// Figure 2's compressible minimal ROA.
+		{AS: 31283, Prefixes: []rpki.ROAPrefix{
+			{Prefix: prefix.MustParse("87.254.32.0/19"), MaxLength: 19},
+			{Prefix: prefix.MustParse("87.254.32.0/20"), MaxLength: 20},
+			{Prefix: prefix.MustParse("87.254.48.0/20"), MaxLength: 20},
+			{Prefix: prefix.MustParse("87.254.32.0/21"), MaxLength: 21},
+		}},
+	}
+	for _, r := range roas {
+		if err := repo.PublishROA(ca, r); err != nil {
+			return "", err
+		}
+	}
+	return dir, repo.Write(dir)
+}

@@ -1,0 +1,86 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// The dump format is a RouteViews-style plain-text RIB: one announcement per
+// line, "prefix AS-path", where the path is a space-separated AS sequence
+// whose last element is the origin (e.g. "168.122.0.0/16 3356 111"). Lines
+// may also carry just an origin ("168.122.0.0/16 111"). '#' comments and
+// blank lines are ignored. AS_SET segments ("{1,2}") at the path tail are
+// rejected, as they are by ROV (RFC 6811 treats AS_SET-originated routes as
+// having no usable origin).
+
+// ReadDump parses announcements from r.
+func ReadDump(r io.Reader) ([]Announcement, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Announcement
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := parseDumpLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: reading dump: %w", err)
+	}
+	return out, nil
+}
+
+func parseDumpLine(line string) (Announcement, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Announcement{}, fmt.Errorf("want 'prefix path...', got %q", line)
+	}
+	p, err := prefix.Parse(fields[0])
+	if err != nil {
+		return Announcement{}, err
+	}
+	path := make([]rpki.ASN, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		if strings.ContainsAny(f, "{}") {
+			return Announcement{}, fmt.Errorf("AS_SET segment %q not supported", f)
+		}
+		as, err := rpki.ParseASN(f)
+		if err != nil {
+			return Announcement{}, err
+		}
+		path = append(path, as)
+	}
+	return Announcement{Prefix: p, Path: path}, nil
+}
+
+// ReadTable is a convenience wrapper: parse a dump and build the Table.
+func ReadTable(r io.Reader) (*Table, error) {
+	anns, err := ReadDump(r)
+	if err != nil {
+		return nil, err
+	}
+	return TableFromAnnouncements(anns), nil
+}
+
+// WriteTable writes the table as "prefix origin" lines in canonical order.
+func WriteTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Routes() {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Prefix, uint32(r.Origin)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,191 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// Speaker is a minimal eBGP speaker: it performs the OPEN/KEEPALIVE
+// handshake, announces routes, and accumulates routes learned from the peer
+// into an adj-RIB-in. It exists to exercise the wire codec end to end —
+// e.g. sending the paper's forged-origin announcement to a peer that
+// validates with ROV — not to implement the full RFC 4271 FSM.
+type Speaker struct {
+	AS       rpki.ASN
+	BGPID    uint32
+	HoldTime uint16
+
+	conn   net.Conn
+	peerAS rpki.ASN
+
+	mu     sync.Mutex
+	ribIn  map[prefix.Prefix]Announcement
+	closed bool
+}
+
+// NewSpeaker wraps an established transport connection.
+func NewSpeaker(conn net.Conn, as rpki.ASN, bgpID uint32) *Speaker {
+	return &Speaker{AS: as, BGPID: bgpID, HoldTime: 90, conn: conn, ribIn: make(map[prefix.Prefix]Announcement)}
+}
+
+// Handshake exchanges OPEN and the confirming KEEPALIVE with the peer and
+// returns the peer's AS.
+func (s *Speaker) Handshake() (rpki.ASN, error) {
+	if err := WriteMessage(s.conn, &Open{AS: s.AS, HoldTime: s.HoldTime, BGPID: s.BGPID}); err != nil {
+		return 0, err
+	}
+	msg, err := ReadMessage(s.conn)
+	if err != nil {
+		return 0, err
+	}
+	open, ok := msg.(*Open)
+	if !ok {
+		return 0, fmt.Errorf("bgp: expected OPEN, got %T", msg)
+	}
+	if err := WriteMessage(s.conn, &Keepalive{}); err != nil {
+		return 0, err
+	}
+	if msg, err = ReadMessage(s.conn); err != nil {
+		return 0, err
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		return 0, fmt.Errorf("bgp: expected KEEPALIVE, got %T", msg)
+	}
+	s.peerAS = open.AS
+	return open.AS, nil
+}
+
+// PeerAS returns the AS learned during the handshake.
+func (s *Speaker) PeerAS() rpki.ASN { return s.peerAS }
+
+// Announce sends one UPDATE for the given announcement, prepending the
+// speaker's own AS to the path if not already present (a hijacker passes a
+// pre-forged path instead).
+func (s *Speaker) Announce(a Announcement) error {
+	path := a.Path
+	if len(path) == 0 || path[0] != s.AS {
+		path = append([]rpki.ASN{s.AS}, path...)
+	}
+	return WriteMessage(s.conn, &Update{Path: path, NLRI: []prefix.Prefix{a.Prefix}})
+}
+
+// Withdraw sends a withdrawal for an IPv4 prefix.
+func (s *Speaker) Withdraw(p prefix.Prefix) error {
+	return WriteMessage(s.conn, &Update{Withdrawn: []prefix.Prefix{p}})
+}
+
+// AnnounceTable announces every route of a table with origin-only paths.
+func (s *Speaker) AnnounceTable(t *Table) error {
+	for _, r := range t.Routes() {
+		if err := s.Announce(Announcement{Prefix: r.Prefix, Path: []rpki.ASN{r.Origin}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLoop consumes messages until the connection closes, applying UPDATEs
+// to the adj-RIB-in. accept, when non-nil, filters incoming announcements
+// (return false to reject — the hook where ROV drops Invalids). ReadLoop
+// returns nil on clean close and the received Notification as an error.
+func (s *Speaker) ReadLoop(accept func(Announcement) bool) error {
+	for {
+		msg, err := ReadMessage(s.conn)
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // session torn down by either side
+			}
+			return err
+		}
+		switch m := msg.(type) {
+		case *Keepalive:
+		case *Update:
+			s.mu.Lock()
+			for _, p := range m.Withdrawn {
+				delete(s.ribIn, p)
+			}
+			for _, p := range m.NLRI {
+				a := Announcement{Prefix: p, Path: m.Path}
+				if accept == nil || accept(a) {
+					s.ribIn[p] = a
+				}
+			}
+			s.mu.Unlock()
+		case *Notification:
+			return m
+		default:
+			return fmt.Errorf("bgp: unexpected %T mid-session", msg)
+		}
+	}
+}
+
+// RIBIn snapshots the routes learned from the peer.
+func (s *Speaker) RIBIn() []Announcement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Announcement, 0, len(s.ribIn))
+	for _, a := range s.ribIn {
+		out = append(out, a)
+	}
+	return out
+}
+
+// RIBInTable projects the adj-RIB-in to a (prefix, origin) Table.
+func (s *Speaker) RIBInTable() *Table {
+	return TableFromAnnouncements(s.RIBIn())
+}
+
+// Notify sends a NOTIFICATION and closes the session.
+func (s *Speaker) Notify(code, subcode byte) error {
+	err := WriteMessage(s.conn, &Notification{Code: code, Subcode: subcode})
+	s.Close()
+	return err
+}
+
+// Close closes the transport.
+func (s *Speaker) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+func (s *Speaker) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Keepalives starts a keepalive ticker (HoldTime/3 per RFC 4271) and
+// returns a stop function.
+func (s *Speaker) Keepalives() (stop func()) {
+	interval := time.Duration(s.HoldTime) * time.Second / 3
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := WriteMessage(s.conn, &Keepalive{}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,304 @@
+package bgp
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/prefix"
+	"repro/internal/rov"
+	"repro/internal/rpki"
+)
+
+func wireRoundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("write %T: %v", m, err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read %T: %v", m, err)
+	}
+	return out
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	// 4-octet AS above the 16-bit range must survive via the capability.
+	in := &Open{AS: 4200000001, HoldTime: 90, BGPID: 0x0a000001}
+	out := wireRoundTrip(t, in).(*Open)
+	if out.AS != in.AS || out.HoldTime != in.HoldTime || out.BGPID != in.BGPID {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+	// Small AS too.
+	in2 := &Open{AS: 111, HoldTime: 30, BGPID: 1}
+	if out := wireRoundTrip(t, in2).(*Open); out.AS != 111 {
+		t.Fatalf("small AS: %+v", out)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := &Update{
+		Withdrawn: []prefix.Prefix{mp("10.0.0.0/8")},
+		Path:      []rpki.ASN{666, 111},
+		NextHop:   0x0a000001,
+		NLRI:      []prefix.Prefix{mp("168.122.0.0/24"), mp("2001:db8::/32")},
+	}
+	out := wireRoundTrip(t, in).(*Update)
+	if len(out.Withdrawn) != 1 || out.Withdrawn[0] != mp("10.0.0.0/8") {
+		t.Fatalf("withdrawn: %v", out.Withdrawn)
+	}
+	if len(out.Path) != 2 || out.Path[0] != 666 || out.Path[1] != 111 {
+		t.Fatalf("path: %v", out.Path)
+	}
+	if out.NextHop != in.NextHop {
+		t.Fatalf("next hop: %x", out.NextHop)
+	}
+	// IPv4 NLRI first (classic field), then IPv6 (MP_REACH).
+	if len(out.NLRI) != 2 || out.NLRI[0] != mp("168.122.0.0/24") || out.NLRI[1] != mp("2001:db8::/32") {
+		t.Fatalf("NLRI: %v", out.NLRI)
+	}
+}
+
+func TestUpdateEndOfRIB(t *testing.T) {
+	out := wireRoundTrip(t, &Update{}).(*Update)
+	if len(out.NLRI) != 0 || len(out.Withdrawn) != 0 {
+		t.Fatalf("end-of-RIB: %+v", out)
+	}
+}
+
+func TestNotificationKeepaliveRoundTrip(t *testing.T) {
+	n := wireRoundTrip(t, &Notification{Code: 6, Subcode: 2, Data: []byte("bye")}).(*Notification)
+	if n.Code != 6 || n.Subcode != 2 || string(n.Data) != "bye" {
+		t.Fatalf("notification: %+v", n)
+	}
+	if _, ok := wireRoundTrip(t, &Keepalive{}).(*Keepalive); !ok {
+		t.Fatal("keepalive type lost")
+	}
+}
+
+func TestUpdateMarshalErrors(t *testing.T) {
+	if err := WriteMessage(bytes.NewBuffer(nil), &Update{NLRI: []prefix.Prefix{mp("10.0.0.0/8")}}); err == nil {
+		t.Error("announcement without path accepted")
+	}
+	if err := WriteMessage(bytes.NewBuffer(nil), &Update{
+		Withdrawn: []prefix.Prefix{mp("2001:db8::/32")}}); err == nil {
+		t.Error("IPv6 classic withdrawal accepted")
+	}
+	long := make([]rpki.ASN, 64)
+	if err := WriteMessage(bytes.NewBuffer(nil), &Update{
+		Path: long, NLRI: []prefix.Prefix{mp("10.0.0.0/8")}}); err == nil {
+		t.Error("64-hop path accepted")
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Bad marker.
+	raw := make([]byte, msgHeaderLen)
+	raw[markerLen] = 0
+	raw[markerLen+1] = msgHeaderLen
+	raw[markerLen+2] = MsgKeepalive
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("bad marker accepted")
+	}
+	// Bad length.
+	for i := 0; i < markerLen; i++ {
+		raw[i] = 0xff
+	}
+	raw[markerLen+1] = 5
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("short length accepted")
+	}
+	// Unknown type.
+	raw[markerLen+1] = msgHeaderLen
+	raw[markerLen+2] = 99
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Truncated stream.
+	if _, err := ReadMessage(bytes.NewReader(raw[:5])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+// tcpPair returns two connected TCP loopback endpoints. Speakers must not
+// share an unbuffered net.Pipe: both sides write OPEN before reading, which
+// deadlocks without transport buffering.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		r.c.Close()
+	})
+	return client, r.c
+}
+
+// TestSpeakerSessionWithROV runs the paper's attack over a real BGP session:
+// a hijacker speaker announces both a legitimate-looking forged-origin
+// subprefix and a plainly invalid subprefix to a validating peer.
+func TestSpeakerSessionWithROV(t *testing.T) {
+	client, server := tcpPair(t)
+	attacker := NewSpeaker(client, 666, 0x0a000002)
+	victimSide := NewSpeaker(server, 64500, 0x0a000001)
+
+	// The validating peer has the §4 non-minimal ROA for AS 111.
+	ix := rov.NewIndex(rpki.NewSet([]rpki.VRP{
+		{Prefix: mp("168.122.0.0/16"), MaxLength: 24, AS: 111},
+	}))
+	accept := func(a Announcement) bool {
+		return ix.Validate(a.Prefix, a.Origin()) != rov.Invalid
+	}
+
+	done := make(chan error, 2)
+	go func() {
+		_, err := victimSide.Handshake()
+		done <- err
+	}()
+	if _, err := attacker.Handshake(); err != nil {
+		t.Fatalf("attacker handshake: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("peer handshake: %v", err)
+	}
+	if attacker.PeerAS() != 64500 || victimSide.PeerAS() != 666 {
+		t.Fatalf("peer ASes: %v / %v", attacker.PeerAS(), victimSide.PeerAS())
+	}
+
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- victimSide.ReadLoop(accept) }()
+
+	// 1. Forged-origin subprefix: path [666, 111], prefix authorized by the
+	// non-minimal ROA -> accepted despite validation.
+	if err := attacker.Announce(Announcement{
+		Prefix: mp("168.122.0.0/24"), Path: []rpki.ASN{666, 111}}); err != nil {
+		t.Fatal(err)
+	}
+	// 2. Naked subprefix hijack with the attacker's own origin -> Invalid,
+	// dropped by the accept hook.
+	if err := attacker.Announce(Announcement{
+		Prefix: mp("168.122.1.0/24"), Path: []rpki.ASN{666}}); err != nil {
+		t.Fatal(err)
+	}
+	// 3. Unrelated prefix (NotFound) -> accepted.
+	if err := attacker.Announce(Announcement{
+		Prefix: mp("198.51.100.0/24"), Path: []rpki.ASN{666}}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitRIB := func(want int) {
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(victimSide.RIBIn()) == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("RIB-in = %v, want %d routes", victimSide.RIBIn(), want)
+	}
+	waitRIB(2)
+	tbl := victimSide.RIBInTable()
+	if !tbl.Contains(mp("168.122.0.0/24"), 111) {
+		t.Error("forged-origin route missing: the attack should have succeeded")
+	}
+	if tbl.ContainsPrefix(mp("168.122.1.0/24")) {
+		t.Error("Invalid route accepted")
+	}
+
+	// Withdrawal removes the forged route.
+	if err := attacker.Withdraw(mp("168.122.0.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	waitRIB(1)
+
+	attacker.Close()
+	victimSide.Close()
+	if err := <-loopDone; err != nil {
+		t.Fatalf("read loop: %v", err)
+	}
+}
+
+func TestSpeakerNotification(t *testing.T) {
+	client, server := tcpPair(t)
+	a := NewSpeaker(client, 1, 1)
+	b := NewSpeaker(server, 2, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Handshake()
+		done <- err
+	}()
+	if _, err := a.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- b.ReadLoop(nil) }()
+	go a.Notify(6, 4) // administrative reset; async because net.Pipe is unbuffered
+	err := <-loopDone
+	n, ok := err.(*Notification)
+	if !ok || n.Code != 6 || n.Subcode != 4 {
+		t.Fatalf("read loop returned %v, want the notification", err)
+	}
+	b.Close()
+}
+
+func TestSpeakerAnnounceTable(t *testing.T) {
+	client, server := tcpPair(t)
+	a := NewSpeaker(client, 64496, 1)
+	b := NewSpeaker(server, 64497, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Handshake()
+		done <- err
+	}()
+	if _, err := a.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	go b.ReadLoop(nil)
+	tbl := sampleTable()
+	if err := a.AnnounceTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.RIBInTable().Len() == tbl.Len() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := b.RIBInTable()
+	if got.Len() != tbl.Len() {
+		t.Fatalf("RIB-in %d routes, want %d", got.Len(), tbl.Len())
+	}
+	// Paths were prepended with the announcer's AS; origins preserved.
+	for _, r := range tbl.Routes() {
+		if !got.Contains(r.Prefix, r.Origin) {
+			t.Errorf("missing %v", r)
+		}
+	}
+	a.Close()
+	b.Close()
+}

@@ -1,0 +1,50 @@
+package bgpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAdoptionSweepSubprefixDecays(t *testing.T) {
+	topo := Generate(GenerateParams{Seed: 3, N: 300})
+	shares := []float64{0, 0.25, 0.5, 0.75, 1}
+	pts := AdoptionSweep(topo, SubprefixMinimalROA, shares, 6)
+	if len(pts) != len(shares) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Zero adoption: the hijack works (~100%). Full adoption: blocked.
+	if pts[0].Capture < 0.9 {
+		t.Errorf("no-adoption capture = %.2f, want ~1", pts[0].Capture)
+	}
+	if pts[len(pts)-1].Capture != 0 {
+		t.Errorf("full-adoption capture = %.2f, want 0", pts[len(pts)-1].Capture)
+	}
+	// Weakly decreasing overall (tolerate small per-trial noise).
+	if pts[0].Capture < pts[len(pts)-1].Capture {
+		t.Errorf("capture did not decay: %v", pts)
+	}
+}
+
+func TestAdoptionSweepForgedOriginFlat(t *testing.T) {
+	topo := Generate(GenerateParams{Seed: 3, N: 300})
+	pts := AdoptionSweep(topo, ForgedOriginSubprefix, []float64{0, 0.5, 1}, 6)
+	// §4's punchline: adoption does not matter — the route is Valid.
+	for _, p := range pts {
+		if p.Capture < 0.9 {
+			t.Errorf("forged-origin capture at %.0f%% adoption = %.2f, want ~1",
+				100*p.Share, p.Capture)
+		}
+	}
+}
+
+func TestRenderAdoption(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderAdoption(&buf, SubprefixMinimalROA, []AdoptionPoint{{Share: 0.5, Capture: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50.0%") || !strings.Contains(buf.String(), "25.0%") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}

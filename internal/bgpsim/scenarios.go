@@ -1,0 +1,183 @@
+package bgpsim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file encodes the paper's attack narrative (§2–§5) as runnable
+// scenarios over one victim/attacker pair:
+//
+//	SubprefixNoROV          §2: subprefix hijack, RPKI ignored — the
+//	                        baseline devastation.
+//	SubprefixMinimalROA     §2: the same hijack against a minimal ROA with
+//	                        validating routers — stopped cold.
+//	ForgedOriginSubprefix   §4: non-minimal maxLength ROA; hijacker forges
+//	                        the victim's origin on an authorized-but-
+//	                        unannounced subprefix — "as bad as a subprefix
+//	                        hijack" despite full ROV.
+//	ForgedOriginPrefix      §5: the hijacker must attack the whole prefix;
+//	                        traffic splits and the majority stays legitimate.
+type ScenarioKind int
+
+// Scenario kinds.
+const (
+	SubprefixNoROV ScenarioKind = iota
+	SubprefixMinimalROA
+	ForgedOriginSubprefix
+	ForgedOriginPrefix
+	numScenarioKinds
+)
+
+// String names the scenario.
+func (k ScenarioKind) String() string {
+	switch k {
+	case SubprefixNoROV:
+		return "subprefix hijack, no ROV"
+	case SubprefixMinimalROA:
+		return "subprefix hijack vs minimal ROA + ROV"
+	case ForgedOriginSubprefix:
+		return "forged-origin subprefix hijack vs maxLength ROA + ROV"
+	case ForgedOriginPrefix:
+		return "forged-origin prefix hijack vs minimal ROA + ROV"
+	default:
+		return fmt.Sprintf("ScenarioKind(%d)", int(k))
+	}
+}
+
+// AttackSetup fixes the victim/attacker embedding.
+type AttackSetup struct {
+	Topo         *Topology
+	Victim       int // node announcing the legitimate prefix
+	Attacker     int
+	Prefix       prefix.Prefix // the victim's covering prefix (e.g. /16)
+	Subprefix    prefix.Prefix // the hijack target (e.g. an unannounced /24)
+	AnnouncedSub prefix.Prefix // a subprefix the victim genuinely announces
+}
+
+// RunningExampleSetup builds the paper's §2–§4 example on the given
+// topology: the victim (AS 111's stand-in) announces 168.122.0.0/16 and
+// 168.122.225.0/24; the attack target is 168.122.0.0/24.
+func RunningExampleSetup(t *Topology, victim, attacker int) AttackSetup {
+	return AttackSetup{
+		Topo:         t,
+		Victim:       victim,
+		Attacker:     attacker,
+		Prefix:       prefix.MustParse("168.122.0.0/16"),
+		Subprefix:    prefix.MustParse("168.122.0.0/24"),
+		AnnouncedSub: prefix.MustParse("168.122.225.0/24"),
+	}
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	Kind        ScenarioKind
+	CaptureRate float64 // fraction of ASes whose traffic the attacker gets
+}
+
+// RunScenario simulates one attack kind with full ROV adoption where the
+// scenario calls for it and returns the attacker's capture rate for traffic
+// addressed into the hijacked subprefix (or the whole prefix for
+// ForgedOriginPrefix).
+func RunScenario(kind ScenarioKind, s AttackSetup) Result {
+	return RunScenarioAdoption(kind, s, 1)
+}
+
+// RunScenarioAdoption is RunScenario with an explicit ROV adoption share in
+// [0,1] for the scenarios that use validation (ignored by SubprefixNoROV).
+func RunScenarioAdoption(kind ScenarioKind, s AttackSetup, share float64) Result {
+	victimAS := s.Topo.ASN(s.Victim)
+	attackerAS := s.Topo.ASN(s.Attacker)
+	legit := []Announcement{
+		{Prefix: s.Prefix, Announcer: s.Victim, PathSuffix: []rpki.ASN{victimAS}},
+		{Prefix: s.AnnouncedSub, Announcer: s.Victim, PathSuffix: []rpki.ASN{victimAS}},
+	}
+	minimalROA := rpki.NewSet([]rpki.VRP{
+		{Prefix: s.Prefix, MaxLength: s.Prefix.Len(), AS: victimAS},
+		{Prefix: s.AnnouncedSub, MaxLength: s.AnnouncedSub.Len(), AS: victimAS},
+	})
+	maxLengthROA := rpki.NewSet([]rpki.VRP{
+		// The §4 non-minimal ROA: (prefix, maxLength = subprefix length).
+		{Prefix: s.Prefix, MaxLength: s.Subprefix.Len(), AS: victimAS},
+	})
+
+	var anns []Announcement
+	var cfg Config
+	target := s.Subprefix
+	switch kind {
+	case SubprefixNoROV:
+		anns = append(legit, Announcement{
+			Prefix: s.Subprefix, Announcer: s.Attacker, PathSuffix: []rpki.ASN{attackerAS}})
+		cfg = Config{} // no validation anywhere
+	case SubprefixMinimalROA:
+		anns = append(legit, Announcement{
+			Prefix: s.Subprefix, Announcer: s.Attacker, PathSuffix: []rpki.ASN{attackerAS}})
+		cfg = Config{VRPs: minimalROA, ValidatingShare: share}
+	case ForgedOriginSubprefix:
+		anns = append(legit, Announcement{
+			Prefix: s.Subprefix, Announcer: s.Attacker, PathSuffix: []rpki.ASN{attackerAS, victimAS}})
+		cfg = Config{VRPs: maxLengthROA, ValidatingShare: share}
+	case ForgedOriginPrefix:
+		anns = append(legit, Announcement{
+			Prefix: s.Prefix, Announcer: s.Attacker, PathSuffix: []rpki.ASN{attackerAS, victimAS}})
+		cfg = Config{VRPs: minimalROA, ValidatingShare: share}
+		target = s.Prefix
+	default:
+		panic(fmt.Sprintf("bgpsim: unknown scenario %d", kind))
+	}
+	out := Simulate(s.Topo, anns, cfg)
+	return Result{Kind: kind, CaptureRate: out.CaptureRate(s.Attacker, deepTarget(target))}
+}
+
+// deepTarget picks a concrete destination inside the target prefix (its
+// lowest address at maximum length), so longest-prefix-match forwarding is
+// exercised end to end.
+func deepTarget(p prefix.Prefix) prefix.Prefix {
+	q := p
+	for q.Len() < q.MaxLen() {
+		q = q.Child(0)
+	}
+	return q
+}
+
+// RunAll evaluates every scenario kind over trials independent
+// victim/attacker embeddings (victims and attackers drawn deterministically
+// from edge nodes) and returns the mean capture rate per kind — the numbers
+// behind §4's "exactly the same impact as a regular subprefix hijack" and
+// §5's "traffic splits".
+func RunAll(t *Topology, trials int) map[ScenarioKind]float64 {
+	sums := make(map[ScenarioKind]float64)
+	n := t.N()
+	for trial := 0; trial < trials; trial++ {
+		victim := n - 1 - 2*trial%(n/2)
+		attacker := n - 2 - 2*trial%(n/2)
+		if victim == attacker {
+			attacker--
+		}
+		s := RunningExampleSetup(t, victim, attacker)
+		for k := ScenarioKind(0); k < numScenarioKinds; k++ {
+			sums[k] += RunScenario(k, s).CaptureRate
+		}
+	}
+	out := make(map[ScenarioKind]float64, int(numScenarioKinds))
+	for k, v := range sums {
+		out[k] = v / float64(trials)
+	}
+	return out
+}
+
+// RenderResults writes mean capture rates in scenario order.
+func RenderResults(w io.Writer, rates map[ScenarioKind]float64) error {
+	if _, err := fmt.Fprintf(w, "%-58s %s\n", "scenario", "mean capture"); err != nil {
+		return err
+	}
+	for k := ScenarioKind(0); k < numScenarioKinds; k++ {
+		if _, err := fmt.Fprintf(w, "%-58s %6.1f%%\n", k.String(), 100*rates[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/rpki"
+)
+
+// Mode selects the compression variant.
+type Mode int
+
+const (
+	// Strict is the default, provably semantics-preserving variant of
+	// Algorithm 1: a parent absorbs its children only when both *depth+1*
+	// children are present. Every depth level between the parent's length
+	// and its new maxLength is then fully covered by the children's own
+	// authorizations, so the output authorizes exactly the input's routes.
+	Strict Mode = iota
+
+	// Literal is Algorithm 1 exactly as printed in §7.1: a node's "direct
+	// children" are the *nearest* present descendants under each branch,
+	// however deep. When a direct child sits more than one bit down, raising
+	// the parent's maxLength authorizes intermediate-length prefixes that
+	// were not in the input. Literal exists for ablation comparison; see the
+	// fidelity note in DESIGN.md.
+	Literal
+)
+
+// Options configures Compress.
+type Options struct {
+	Mode Mode
+
+	// Subsumption additionally deletes any tuple whose authorizations are
+	// entirely covered by a present ancestor tuple (child.maxLength <=
+	// ancestor.maxLength). Algorithm 1 only performs this deletion for
+	// sibling pairs during merging; the standalone pass is strictly
+	// semantics-preserving and yields extra compression on inputs with
+	// redundant tuples. Off by default to match the paper.
+	Subsumption bool
+
+	// Parallelism compresses that many tries concurrently — the paper's
+	// §7.2 suggestion ("Performance could be improved by parallelizing
+	// across tries"; tries are per-(AS, family) and fully independent).
+	// Values < 2 run sequentially. Output is identical either way.
+	Parallelism int
+}
+
+// Result reports what a compression run did.
+type Result struct {
+	In, Out   int // tuple counts before and after
+	Merged    int // child tuples deleted by parent maxLength absorption
+	Subsumed  int // tuples deleted by the optional subsumption pass
+	Raised    int // parents whose maxLength was raised
+	TrieCount int // number of per-(AS, family) tries processed
+}
+
+// SavedFraction returns the compression rate (1 - Out/In), the paper's
+// headline metric (15.90% for the 6/1/2017 status quo).
+func (r Result) SavedFraction() float64 {
+	if r.In == 0 {
+		return 0
+	}
+	return 1 - float64(r.Out)/float64(r.In)
+}
+
+// Compress is the package's main entry point — the compress_roas utility of
+// §7. It rewrites the VRP set into an equivalent set that uses maxLength,
+// returning the new set and run statistics. The input set is not modified.
+//
+// With Options.Mode == Strict (default) the output authorizes exactly the
+// same routes as the input: in particular, compressing a minimal ROA set
+// yields a minimal ROA set ("This 'compressed' ROA is still minimal", §7).
+func Compress(s *rpki.Set, opts Options) (*rpki.Set, Result) {
+	tries := BuildTries(s)
+	res := Result{In: s.Len(), TrieCount: len(tries)}
+	results := make([]Result, len(tries))
+	if opts.Parallelism > 1 && len(tries) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Parallelism)
+		for i, t := range tries {
+			wg.Add(1)
+			go func(i int, t *Trie) {
+				defer wg.Done()
+				sem <- struct{}{}
+				results[i] = compressTrie(t, opts)
+				<-sem
+			}(i, t)
+		}
+		wg.Wait()
+	} else {
+		for i, t := range tries {
+			results[i] = compressTrie(t, opts)
+		}
+	}
+	var out []rpki.VRP
+	for i, t := range tries {
+		res.Merged += results[i].Merged
+		res.Subsumed += results[i].Subsumed
+		res.Raised += results[i].Raised
+		out = t.Tuples(out)
+	}
+	cs := rpki.NewSet(out)
+	res.Out = cs.Len()
+	return cs, res
+}
+
+// compressTrie runs Algorithm 1 over one trie in place.
+func compressTrie(t *Trie, opts Options) Result {
+	var res Result
+	if opts.Subsumption {
+		res.Subsumed = subsume(t)
+	}
+	// "we iterate through the trie using a depth-first search (DFS). As the
+	// DFS backtracks through the trie we run the compression function."
+	var dfs func(n *node)
+	dfs = func(n *node) {
+		if n == nil {
+			return
+		}
+		dfs(n.children[0])
+		dfs(n.children[1])
+		if !n.present {
+			return
+		}
+		var l, r *node
+		switch opts.Mode {
+		case Strict:
+			l = presentAtDepthPlusOne(n.children[0])
+			r = presentAtDepthPlusOne(n.children[1])
+		case Literal:
+			l = nearestPresent(n.children[0])
+			r = nearestPresent(n.children[1])
+		}
+		if l == nil || r == nil {
+			return // "if node has both direct children" fails
+		}
+		minChildVal := l.value
+		if r.value < minChildVal {
+			minChildVal = r.value
+		}
+		if minChildVal > n.value {
+			// "Adjust parent's maxLength to cover children."
+			n.value = minChildVal
+			res.Raised++
+		}
+		if l.value <= n.value {
+			l.present = false // "left child now covered by father"
+			t.size--
+			res.Merged++
+		}
+		if r.value <= n.value {
+			r.present = false
+			t.size--
+			res.Merged++
+		}
+	}
+	dfs(t.root)
+	return res
+}
+
+// presentAtDepthPlusOne returns c if it is a present node (c is already the
+// depth+1 child pointer), else nil.
+func presentAtDepthPlusOne(c *node) *node {
+	if c != nil && c.present {
+		return c
+	}
+	return nil
+}
+
+// nearestPresent returns the shortest-keyed present node in the subtree
+// rooted at c — the paper's "direct child". When both branches of a
+// structural node hold present descendants at equal minimal depth there is
+// no unique shortest key; we take the left (0) branch's, matching a
+// pre-order scan of the key space.
+func nearestPresent(c *node) *node {
+	if c == nil {
+		return nil
+	}
+	// BFS by depth to find the minimal-depth present node.
+	level := []*node{c}
+	for len(level) > 0 {
+		var next []*node
+		for _, n := range level {
+			if n.present {
+				return n
+			}
+			if n.children[0] != nil {
+				next = append(next, n.children[0])
+			}
+			if n.children[1] != nil {
+				next = append(next, n.children[1])
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+// subsume deletes every present node whose maxLength does not exceed the
+// largest maxLength among its present ancestors. Sound for any input: the
+// ancestor authorizes a superset of the deleted tuple's routes.
+func subsume(t *Trie) int {
+	removed := 0
+	var dfs func(n *node, g int16)
+	dfs = func(n *node, g int16) {
+		if n == nil {
+			return
+		}
+		if n.present {
+			if int16(n.value) <= g {
+				n.present = false
+				t.size--
+				removed++
+			} else {
+				g = int16(n.value)
+			}
+		}
+		dfs(n.children[0], g)
+		dfs(n.children[1], g)
+	}
+	dfs(t.root, -1)
+	return removed
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// TestFigure2Golden reproduces Figure 2 of the paper exactly: the minimal
+// ROAs of AS 31283 compress from four tuples to two.
+func TestFigure2Golden(t *testing.T) {
+	in := rpki.NewSet([]rpki.VRP{
+		v("87.254.32.0/19", 19, 31283),
+		v("87.254.32.0/20", 20, 31283),
+		v("87.254.48.0/20", 20, 31283),
+		v("87.254.32.0/21", 21, 31283),
+	})
+	for _, mode := range []Mode{Strict, Literal} {
+		out, res := Compress(in, Options{Mode: mode})
+		if out.Len() != 2 {
+			t.Fatalf("mode %v: compressed to %d tuples, want 2: %v", mode, out.Len(), out.VRPs())
+		}
+		want := rpki.NewSet([]rpki.VRP{
+			v("87.254.32.0/19", 20, 31283), // 87.254.32.0/19-20
+			v("87.254.32.0/21", 21, 31283),
+		})
+		if !out.Equal(want) {
+			t.Fatalf("mode %v: got %v, want %v", mode, out.VRPs(), want.VRPs())
+		}
+		if res.In != 4 || res.Out != 2 || res.Merged != 2 || res.Raised != 1 {
+			t.Errorf("mode %v: result = %+v", mode, res)
+		}
+		if err := VerifyCompression(in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompressDoesNotProduceFigure2NonMinimal checks the explicit
+// non-example of §7: the compressor must NOT emit (87.254.32.0/19-21),
+// which would be vulnerable on 87.254.40.0/21.
+func TestCompressDoesNotProduceFigure2NonMinimal(t *testing.T) {
+	in := rpki.NewSet([]rpki.VRP{
+		v("87.254.32.0/19", 19, 31283),
+		v("87.254.32.0/20", 20, 31283),
+		v("87.254.48.0/20", 20, 31283),
+		v("87.254.32.0/21", 21, 31283),
+	})
+	out, _ := Compress(in, Options{})
+	for _, x := range out.VRPs() {
+		if x.Prefix == mp("87.254.32.0/19") && x.MaxLength >= 21 {
+			t.Fatalf("compressor emitted the vulnerable tuple %v", x)
+		}
+	}
+	// The forged-origin target must remain unauthorized.
+	hijack := mp("87.254.40.0/21")
+	for _, x := range out.VRPs() {
+		if x.Matches(hijack, 31283) {
+			t.Fatalf("compressed set authorizes the hijacker's %s via %v", hijack, x)
+		}
+	}
+}
+
+func TestCompressFullSubtree(t *testing.T) {
+	// A complete 2-level de-aggregation collapses to a single tuple.
+	in := rpki.NewSet([]rpki.VRP{
+		v("10.0.0.0/8", 8, 1),
+		v("10.0.0.0/9", 9, 1),
+		v("10.128.0.0/9", 9, 1),
+		v("10.0.0.0/10", 10, 1),
+		v("10.64.0.0/10", 10, 1),
+		v("10.128.0.0/10", 10, 1),
+		v("10.192.0.0/10", 10, 1),
+	})
+	out, res := Compress(in, Options{})
+	if out.Len() != 1 {
+		t.Fatalf("got %d tuples: %v", out.Len(), out.VRPs())
+	}
+	got := out.VRPs()[0]
+	if got != v("10.0.0.0/8", 10, 1) {
+		t.Fatalf("got %v, want 10.0.0.0/8-10", got)
+	}
+	if res.Merged != 6 {
+		t.Errorf("Merged = %d, want 6", res.Merged)
+	}
+	if err := VerifyCompression(in, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressNoMergeAcrossGap(t *testing.T) {
+	// /19 with a /21 on the left branch and /20 on the right: the literal
+	// algorithm merges across the gap and breaks semantics; Strict must not.
+	in := rpki.NewSet([]rpki.VRP{
+		v("87.254.32.0/19", 19, 1),
+		v("87.254.32.0/21", 21, 1), // left branch, 2 bits down
+		v("87.254.48.0/20", 20, 1), // right branch, 1 bit down
+	})
+	outStrict, _ := Compress(in, Options{Mode: Strict})
+	if err := VerifyCompression(in, outStrict); err != nil {
+		t.Fatalf("Strict broke semantics: %v", err)
+	}
+	if outStrict.Len() != 3 {
+		t.Errorf("Strict should not merge here, got %v", outStrict.VRPs())
+	}
+	outLit, _ := Compress(in, Options{Mode: Literal})
+	if err := VerifyCompression(in, outLit); err == nil {
+		t.Log("note: literal algorithm happened to preserve semantics on this input")
+	} else {
+		// Expected: the literal algorithm authorizes 87.254.32.0/20.
+		if ok, ce := SemanticEqual(in, outLit); ok || ce == nil || !ce.AuthorizedA == true {
+			if ce != nil && ce.AuthorizedA {
+				t.Errorf("unexpected counterexample direction: %v", ce)
+			}
+		}
+	}
+}
+
+func TestCompressSiblingsWithoutParentNotMerged(t *testing.T) {
+	// Both /17s announced but no /16 tuple: merging would authorize the /16
+	// itself, so nothing may happen.
+	in := rpki.NewSet([]rpki.VRP{
+		v("168.122.0.0/17", 17, 111),
+		v("168.122.128.0/17", 17, 111),
+	})
+	out, res := Compress(in, Options{})
+	if !out.Equal(in) || res.Merged != 0 {
+		t.Fatalf("sibling-only merge happened: %v", out.VRPs())
+	}
+}
+
+func TestCompressChainedMerge(t *testing.T) {
+	// Full 3-level tree with heterogeneous values merges bottom-up.
+	in := rpki.NewSet([]rpki.VRP{
+		v("10.0.0.0/8", 8, 1),
+		v("10.0.0.0/9", 9, 1),
+		v("10.128.0.0/9", 9, 1),
+	})
+	out, _ := Compress(in, Options{})
+	want := rpki.NewSet([]rpki.VRP{v("10.0.0.0/8", 9, 1)})
+	if !out.Equal(want) {
+		t.Fatalf("got %v, want 10.0.0.0/8-9", out.VRPs())
+	}
+}
+
+func TestCompressPerASIsolation(t *testing.T) {
+	// Identical structure under two ASes must compress independently.
+	in := rpki.NewSet([]rpki.VRP{
+		v("10.0.0.0/8", 8, 1), v("10.0.0.0/9", 9, 1), v("10.128.0.0/9", 9, 1),
+		v("10.0.0.0/9", 9, 2), v("10.128.0.0/9", 9, 2), // no parent for AS 2
+	})
+	out, _ := Compress(in, Options{})
+	if out.Len() != 3 {
+		t.Fatalf("got %v", out.VRPs())
+	}
+	if err := VerifyCompression(in, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressSubsumptionOption(t *testing.T) {
+	in := rpki.NewSet([]rpki.VRP{
+		v("10.0.0.0/8", 24, 1),
+		v("10.5.0.0/16", 20, 1), // entirely inside 10.0.0.0/8-24
+	})
+	out, res := Compress(in, Options{})
+	if out.Len() != 2 {
+		t.Fatalf("paper algorithm should not subsume one-sided: %v", out.VRPs())
+	}
+	out2, res2 := Compress(in, Options{Subsumption: true})
+	if out2.Len() != 1 || res2.Subsumed != 1 {
+		t.Fatalf("subsumption pass failed: %v (%+v)", out2.VRPs(), res2)
+	}
+	if err := VerifyCompression(in, out2); err != nil {
+		t.Fatal(err)
+	}
+	if res.Subsumed != 0 {
+		t.Errorf("default run reported subsumption: %+v", res)
+	}
+}
+
+func TestCompressIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		in := randomSet(rng, 40)
+		out1, _ := Compress(in, Options{})
+		out2, _ := Compress(out1, Options{})
+		if !out1.Equal(out2) {
+			t.Fatalf("not idempotent:\nfirst  %v\nsecond %v", out1.VRPs(), out2.VRPs())
+		}
+	}
+}
+
+// randomSet builds a random VRP set biased toward sibling structure so
+// merges actually occur.
+func randomSet(rng *rand.Rand, n int) *rpki.Set {
+	var vrps []rpki.VRP
+	for i := 0; i < n; i++ {
+		l := uint8(6 + rng.Intn(16))
+		p, _ := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+		ml := l + uint8(rng.Intn(4))
+		if ml > 32 {
+			ml = 32
+		}
+		as := rpki.ASN(rng.Intn(3))
+		vrps = append(vrps, rpki.VRP{Prefix: p, MaxLength: ml, AS: as})
+		// With probability 1/2 add the sibling and parent to create mergeable
+		// structure.
+		if rng.Intn(2) == 0 && l > 0 {
+			vrps = append(vrps,
+				rpki.VRP{Prefix: p.Sibling(), MaxLength: ml, AS: as},
+				rpki.VRP{Prefix: p.Parent(), MaxLength: p.Parent().Len(), AS: as})
+		}
+	}
+	return rpki.NewSet(vrps)
+}
+
+// TestCompressStrictPreservesSemantics is the paper's central safety claim,
+// checked with the exact verifier over randomized inputs.
+func TestCompressStrictPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		in := randomSet(rng, 30)
+		for _, opts := range []Options{{}, {Subsumption: true}} {
+			out, res := Compress(in, opts)
+			if ok, ce := SemanticEqual(in, out); !ok {
+				t.Fatalf("trial %d opts %+v: semantics changed: %s\nin:  %v\nout: %v",
+					trial, opts, ce, in.VRPs(), out.VRPs())
+			}
+			if res.Out > res.In {
+				t.Fatalf("compression grew the set: %+v", res)
+			}
+		}
+	}
+}
+
+// TestCompressNeverAuthorizesMore verifies one direction for the Literal
+// mode too: even the literal algorithm never *removes* authorizations (it
+// can only add, which is exactly its flaw).
+func TestCompressLiteralNeverRemovesAuthorizations(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		in := randomSet(rng, 25)
+		out, _ := Compress(in, Options{Mode: Literal})
+		// Every input tuple's own route must stay authorized.
+		tries := BuildTries(out)
+		trieFor := func(as rpki.ASN, fam prefix.Family) *Trie {
+			for _, tr := range tries {
+				if tr.AS() == as && tr.Family() == fam {
+					return tr
+				}
+			}
+			return nil
+		}
+		for _, x := range in.VRPs() {
+			tr := trieFor(x.AS, x.Prefix.Family())
+			if tr == nil || !tr.Authorizes(x.Prefix) {
+				t.Fatalf("trial %d: literal compression lost %v", trial, x)
+			}
+		}
+	}
+}
+
+func TestSavedFraction(t *testing.T) {
+	r := Result{In: 100, Out: 84}
+	if got := r.SavedFraction(); got < 0.1599 || got > 0.1601 {
+		t.Errorf("SavedFraction = %v", got)
+	}
+	if (Result{}).SavedFraction() != 0 {
+		t.Error("empty result fraction should be 0")
+	}
+}
+
+func TestCompressEmptyAndSingle(t *testing.T) {
+	empty, res := Compress(rpki.NewSet(nil), Options{})
+	if empty.Len() != 0 || res.In != 0 || res.Out != 0 {
+		t.Error("empty set mishandled")
+	}
+	one := rpki.NewSet([]rpki.VRP{v("10.0.0.0/8", 8, 1)})
+	out, _ := Compress(one, Options{})
+	if !out.Equal(one) {
+		t.Error("singleton changed")
+	}
+}
+
+func TestCompressQuick(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		if len(seeds) > 24 {
+			seeds = seeds[:24]
+		}
+		var vrps []rpki.VRP
+		for _, s := range seeds {
+			l := uint8(4 + s%20)
+			p, err := prefix.Make(prefix.IPv4, uint64(s)<<32, 0, l)
+			if err != nil {
+				return false
+			}
+			ml := l + uint8((s>>8)%3)
+			if ml > 32 {
+				ml = 32
+			}
+			vrps = append(vrps, rpki.VRP{Prefix: p, MaxLength: ml, AS: rpki.ASN(s % 2)})
+		}
+		in := rpki.NewSet(vrps)
+		out, _ := Compress(in, Options{Subsumption: true})
+		ok, _ := SemanticEqual(in, out)
+		return ok && out.Len() <= in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		in := randomSet(rng, 60)
+		seq, seqRes := Compress(in, Options{})
+		par, parRes := Compress(in, Options{Parallelism: 8})
+		if !seq.Equal(par) {
+			t.Fatalf("trial %d: parallel output differs\nseq: %v\npar: %v",
+				trial, seq.VRPs(), par.VRPs())
+		}
+		if seqRes.Merged != parRes.Merged || seqRes.Raised != parRes.Raised {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, seqRes, parRes)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file implements the minimal-ROA machinery of §3 and §6–§7: a ROA (or
+// VRP set) is *minimal* when it authorizes exactly the routes its origin
+// announces in BGP (RFC 6907 §3.2). The paper's hardening proposal replaces
+// every ROA with its minimal, maxLength-free equivalent; Compress then wins
+// back most of the PDU inflation that causes.
+
+// Minimalize converts the VRP set into the minimal, maxLength-free set with
+// respect to the BGP table: for every tuple, the (prefix, origin) routes it
+// authorizes that are actually announced, each emitted with maxLength equal
+// to its prefix length. Tuples authorizing nothing that is announced vanish
+// (their ROA would become empty). This is the conversion behind Table 1's
+// "minimal ROAs, no maxLength" rows.
+func Minimalize(s *rpki.Set, table *bgp.Table) *rpki.Set {
+	var out []rpki.VRP
+	for _, v := range s.VRPs() {
+		as := v.AS
+		table.WalkAnnouncedUnder(as, v.Prefix, v.MaxLength, func(q prefix.Prefix) {
+			out = append(out, rpki.VRP{Prefix: q, MaxLength: q.Len(), AS: as})
+		})
+	}
+	return rpki.NewSet(out)
+}
+
+// FullDeploymentMinimal returns the minimal, maxLength-free VRP set of a
+// fully deployed RPKI: one tuple per announced (prefix, origin) pair ("we
+// assume every IP prefix announced in our BGP dataset is validated by a
+// minimal ROA that does not use maxLength", §7.2).
+func FullDeploymentMinimal(table *bgp.Table) *rpki.Set {
+	routes := table.Routes()
+	out := make([]rpki.VRP, 0, len(routes))
+	for _, r := range routes {
+		out = append(out, rpki.VRP{Prefix: r.Prefix, MaxLength: r.Prefix.Len(), AS: r.Origin})
+	}
+	return rpki.NewSet(out)
+}
+
+// FullDeploymentLowerBound returns the §6 lower bound on PDUs under full
+// deployment: one maximally-permissive tuple per announced pair, with pairs
+// subsumed by a same-origin covering announcement dropped. Only the
+// *count* is meaningful — the set is wildly non-minimal and vulnerable.
+func FullDeploymentLowerBound(table *bgp.Table) *rpki.Set {
+	return FullDeploymentMinimal(table).MaxPermissive()
+}
+
+// AdditionalPrefixes counts the (prefix, origin) pairs a minimal conversion
+// must add relative to the tuples already present: pairs that are announced
+// in BGP and covered (authorized) by the set, but whose exact (prefix,
+// maxLength=len, AS) tuple is not already listed. This is the paper's "13K
+// additional prefixes would need to be added" measurement (§6).
+func AdditionalPrefixes(s *rpki.Set, table *bgp.Table) int {
+	existing := make(map[rpki.VRP]struct{}, s.Len())
+	for _, v := range s.VRPs() {
+		existing[rpki.VRP{Prefix: v.Prefix, MaxLength: v.Prefix.Len(), AS: v.AS}] = struct{}{}
+	}
+	minimal := Minimalize(s, table)
+	n := 0
+	for _, v := range minimal.VRPs() {
+		if _, ok := existing[v]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// IsMinimal reports whether the set is minimal w.r.t. the table: every
+// authorized route is announced (the converse — every announced route
+// authorized — is deployment coverage, not minimality). It returns a
+// witness route that is authorized but unannounced when not minimal.
+func IsMinimal(s *rpki.Set, table *bgp.Table) (bool, *rpki.VRP) {
+	for _, t := range BuildTries(s) {
+		var witness *rpki.VRP
+		as := t.AS()
+		t.Walk(func(p prefix.Prefix, maxLength uint8) {
+			if witness != nil {
+				return
+			}
+			// Fast path: compare announced count under (p, maxLength) with
+			// the full expansion size; equality means every authorized
+			// subprefix is announced.
+			want := p.NumSubprefixesUpTo(maxLength)
+			got := uint64(table.WalkAnnouncedUnder(as, p, maxLength, nil))
+			if got >= want {
+				return
+			}
+			// Locate a concrete unannounced authorized prefix by descending
+			// toward a deficit: at each level at least one child subtree
+			// misses announcements, so the search is O(maxLength) probes.
+			q := p
+			for {
+				if !table.Contains(q, as) {
+					w := rpki.VRP{Prefix: q, MaxLength: q.Len(), AS: as}
+					witness = &w
+					return
+				}
+				if q.Len() >= maxLength {
+					return // fully announced on this path (cannot happen given the deficit)
+				}
+				descended := false
+				for bit := uint8(0); bit < 2; bit++ {
+					c := q.Child(bit)
+					if uint64(table.WalkAnnouncedUnder(as, c, maxLength, nil)) < c.NumSubprefixesUpTo(maxLength) {
+						q = c
+						descended = true
+						break
+					}
+				}
+				if !descended {
+					return // deficit vanished; treat as minimal on this path
+				}
+			}
+		})
+		if witness != nil {
+			return false, witness
+		}
+	}
+	return true, nil
+}

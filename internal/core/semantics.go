@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file implements an exact decision procedure for semantic equality of
+// two VRP sets: do they authorize exactly the same (prefix, origin AS)
+// routes? The authorized set can be astronomically large (a single /8-32
+// tuple authorizes 2^25-ish routes), so enumeration is hopeless; instead we
+// walk the merged tuple trie carrying, for each side, the running maximum
+// maxLength over present ancestors (g). A prefix q is authorized iff
+// len(q) <= g(q), and g only changes at tuple nodes, so equality can be
+// decided by comparing g at tuple nodes and at the roots of tuple-free
+// subtrees (see DESIGN.md). The procedure is O(total tuple bits) and returns
+// a concrete counterexample route on inequality, which the tests and the
+// compressroas -verify flag surface directly.
+
+// mnode is a merged trie node carrying per-side values.
+type mnode struct {
+	children [2]*mnode
+	pfx      prefix.Prefix
+	valA     int16 // maxLength on side A, -1 if absent
+	valB     int16
+}
+
+func newMnode(p prefix.Prefix) *mnode { return &mnode{pfx: p, valA: -1, valB: -1} }
+
+func (m *mnode) insert(p prefix.Prefix, maxLength uint8, sideB bool) {
+	n := m
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		bit := p.Bit(depth)
+		if n.children[bit] == nil {
+			n.children[bit] = newMnode(n.pfx.Child(bit))
+		}
+		n = n.children[bit]
+	}
+	v := int16(maxLength)
+	if sideB {
+		if v > n.valB {
+			n.valB = v
+		}
+	} else {
+		if v > n.valA {
+			n.valA = v
+		}
+	}
+}
+
+// Counterexample describes one route authorized by exactly one of two sets.
+type Counterexample struct {
+	Route       rpki.VRP // MaxLength == Prefix.Len(): a single route
+	AuthorizedA bool     // true: A authorizes it and B does not; false: vice versa
+}
+
+// String renders e.g. "168.122.0.0/24 => AS111 authorized only by A".
+func (c Counterexample) String() string {
+	side := "B"
+	if c.AuthorizedA {
+		side = "A"
+	}
+	return fmt.Sprintf("%s authorized only by %s", c.Route, side)
+}
+
+// SemanticEqual reports whether a and b authorize exactly the same routes.
+// On inequality it returns a counterexample.
+func SemanticEqual(a, b *rpki.Set) (bool, *Counterexample) {
+	type key struct {
+		as  rpki.ASN
+		fam prefix.Family
+	}
+	merged := make(map[key]*mnode)
+	rootFor := func(k key) *mnode {
+		m, ok := merged[k]
+		if !ok {
+			p, err := prefix.Make(k.fam, 0, 0, 0)
+			if err != nil {
+				panic(err)
+			}
+			m = newMnode(p)
+			merged[k] = m
+		}
+		return m
+	}
+	for _, v := range a.VRPs() {
+		rootFor(key{v.AS, v.Prefix.Family()}).insert(v.Prefix, v.MaxLength, false)
+	}
+	for _, v := range b.VRPs() {
+		rootFor(key{v.AS, v.Prefix.Family()}).insert(v.Prefix, v.MaxLength, true)
+	}
+	// Deterministic iteration order for reproducible counterexamples.
+	keys := make([]key, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].as != keys[j].as {
+			return keys[i].as < keys[j].as
+		}
+		return keys[i].fam < keys[j].fam
+	})
+	for _, k := range keys {
+		if ce := diffTrie(merged[k], -1, -1, k.as); ce != nil {
+			return false, ce
+		}
+	}
+	return true, nil
+}
+
+// diffTrie returns a counterexample in the subtree at n, where gA/gB are the
+// ancestor maxima excluding n itself, or nil if the subtrees agree.
+func diffTrie(n *mnode, gA, gB int16, as rpki.ASN) *Counterexample {
+	if n.valA > gA {
+		gA = n.valA
+	}
+	if n.valB > gB {
+		gB = n.valB
+	}
+	l := int16(n.pfx.Len())
+	// Authorization of the node's own prefix.
+	if (l <= gA) != (l <= gB) {
+		return &Counterexample{
+			Route:       rpki.VRP{Prefix: n.pfx, MaxLength: n.pfx.Len(), AS: as},
+			AuthorizedA: l <= gA,
+		}
+	}
+	for bit := uint8(0); bit < 2; bit++ {
+		if c := n.children[bit]; c != nil {
+			if ce := diffTrie(c, gA, gB, as); ce != nil {
+				return ce
+			}
+			continue
+		}
+		// Tuple-free subtree rooted at the absent child: authorized depths
+		// are (l, gX]. The sides agree iff the effective bounds match or
+		// both subtrees are empty of authorizations.
+		if gA == gB || (gA <= l && gB <= l) {
+			continue
+		}
+		return tupleFreeCounterexample(n.pfx, bit, gA, gB, as)
+	}
+	return nil
+}
+
+// tupleFreeCounterexample builds a route at the first depth where exactly
+// one side authorizes within the absent-child subtree.
+func tupleFreeCounterexample(parent prefix.Prefix, bit uint8, gA, gB int16, as rpki.ASN) *Counterexample {
+	authA := gA > gB
+	hi := gA // the smaller of the two bounds
+	if authA {
+		hi = gB
+	}
+	// Depths in (max(hi, parent.Len()), max(gA, gB)] are authorized by one
+	// side only; pick the shallowest.
+	depth := hi + 1
+	if depth < int16(parent.Len())+1 {
+		depth = int16(parent.Len()) + 1
+	}
+	q := parent.Child(bit)
+	for int16(q.Len()) < depth {
+		q = q.Child(0)
+	}
+	return &Counterexample{
+		Route:       rpki.VRP{Prefix: q, MaxLength: q.Len(), AS: as},
+		AuthorizedA: authA,
+	}
+}
+
+// VerifyCompression asserts that compressed preserves original's semantics;
+// it returns nil on success and a descriptive error otherwise. cmd/compressroas
+// runs this under -verify.
+func VerifyCompression(original, compressed *rpki.Set) error {
+	if ok, ce := SemanticEqual(original, compressed); !ok {
+		return fmt.Errorf("core: compression changed authorized routes: %s", ce)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution: the binary
+// prefix trie of Figure 2 and the compress_roas algorithm (Algorithm 1) that
+// rewrites a set of VRP tuples into a smaller, semantically identical set
+// that uses the maxLength attribute — without ever authorizing a route the
+// input did not authorize. The package also implements the analyses the
+// paper builds on that algorithm: minimal-ROA conversion (§6, §7.2),
+// forged-origin subprefix hijack vulnerability detection (§4, §6), and an
+// exact semantic-equivalence verifier used to prove compression safe.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// node is one vertex of the binary prefix trie. Structural nodes exist only
+// to connect present nodes; a present node corresponds to a (prefix,
+// maxLength) tuple ("Each trie node corresponds to some (AS, prefix,
+// maxLength)-tuple", §7.1).
+type node struct {
+	children [2]*node
+	pfx      prefix.Prefix
+	value    uint8 // maxLength; meaningful only when present
+	present  bool
+}
+
+// Trie is the per-(origin AS, address family) prefix tree of §7.1. The trie
+// key of a node is the bit string of its prefix; node values are maxLengths.
+type Trie struct {
+	root *node
+	fam  prefix.Family
+	as   rpki.ASN
+	size int // number of present nodes
+}
+
+// NewTrie returns an empty trie for one origin AS and family.
+func NewTrie(as rpki.ASN, fam prefix.Family) *Trie {
+	rootPfx, err := prefix.Make(fam, 0, 0, 0)
+	if err != nil {
+		panic(err) // fam is validated by Make; unreachable for IPv4/IPv6
+	}
+	return &Trie{root: &node{pfx: rootPfx}, fam: fam, as: as}
+}
+
+// AS returns the origin AS the trie belongs to.
+func (t *Trie) AS() rpki.ASN { return t.as }
+
+// Family returns the trie's address family.
+func (t *Trie) Family() prefix.Family { return t.fam }
+
+// Size returns the number of tuples (present nodes) in the trie.
+func (t *Trie) Size() int { return t.size }
+
+// Insert adds the tuple (p, maxLength). Inserting a prefix twice keeps the
+// larger maxLength, since the union of the two tuples' authorizations equals
+// the more permissive one. Insert panics on family mismatch or an invalid
+// maxLength, which indicate a bug in the caller (Set inputs are validated).
+func (t *Trie) Insert(p prefix.Prefix, maxLength uint8) {
+	if p.Family() != t.fam {
+		panic(fmt.Sprintf("core: inserting %s into %s trie", p, t.fam))
+	}
+	if maxLength < p.Len() || maxLength > p.MaxLen() {
+		panic(fmt.Sprintf("core: maxLength %d invalid for %s", maxLength, p))
+	}
+	n := t.root
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		bit := p.Bit(depth)
+		if n.children[bit] == nil {
+			n.children[bit] = &node{pfx: n.pfx.Child(bit)}
+		}
+		n = n.children[bit]
+	}
+	if !n.present {
+		n.present = true
+		n.value = maxLength
+		t.size++
+		return
+	}
+	if maxLength > n.value {
+		n.value = maxLength
+	}
+}
+
+// InsertVRP adds a VRP tuple; the VRP's AS must match the trie's.
+func (t *Trie) InsertVRP(v rpki.VRP) {
+	if v.AS != t.as {
+		panic(fmt.Sprintf("core: inserting %s into trie for %s", v, t.as))
+	}
+	t.Insert(v.Prefix, v.MaxLength)
+}
+
+// Tuples appends the trie's present tuples to dst in canonical prefix order
+// and returns the extended slice.
+func (t *Trie) Tuples(dst []rpki.VRP) []rpki.VRP {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.present {
+			dst = append(dst, rpki.VRP{Prefix: n.pfx, MaxLength: n.value, AS: t.as})
+		}
+		rec(n.children[0])
+		rec(n.children[1])
+	}
+	rec(t.root)
+	return dst
+}
+
+// Lookup returns the maxLength stored at exactly p, if present.
+func (t *Trie) Lookup(p prefix.Prefix) (uint8, bool) {
+	n := t.root
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		n = n.children[p.Bit(depth)]
+		if n == nil {
+			return 0, false
+		}
+	}
+	if !n.present {
+		return 0, false
+	}
+	return n.value, true
+}
+
+// Authorizes reports whether the trie's tuples authorize the route (q, AS):
+// some present ancestor-or-self of q has maxLength >= q.Len().
+func (t *Trie) Authorizes(q prefix.Prefix) bool {
+	if q.Family() != t.fam {
+		return false
+	}
+	n := t.root
+	for depth := uint8(0); ; depth++ {
+		if n.present && n.value >= q.Len() {
+			return true
+		}
+		if depth >= q.Len() {
+			return false
+		}
+		n = n.children[q.Bit(depth)]
+		if n == nil {
+			return false
+		}
+	}
+}
+
+// CountAuthorized returns the number of distinct prefixes the trie
+// authorizes (counting each authorized prefix once even when several tuples
+// cover it), saturating at the uint64 maximum. This measures the authorized
+// route space that vulnerability analysis (§4) compares against BGP.
+func (t *Trie) CountAuthorized() uint64 {
+	return countAuthorized(t.root, -1)
+}
+
+// countAuthorized performs the g-propagation DFS described in DESIGN.md:
+// g is the maximum maxLength over present ancestors (or -1). A prefix q is
+// authorized iff len(q) <= g(q).
+func countAuthorized(n *node, g int16) uint64 {
+	if n == nil {
+		return 0
+	}
+	if n.present && int16(n.value) > g {
+		g = int16(n.value)
+	}
+	var total uint64
+	l := int16(n.pfx.Len())
+	if l <= g {
+		total = 1
+	}
+	for bit := 0; bit < 2; bit++ {
+		var sub uint64
+		if c := n.children[bit]; c != nil {
+			sub = countAuthorized(c, g)
+		} else if g > l {
+			// Tuple-free subtree fully authorized down to depth g:
+			// 2^(g-l) - 1 prefixes (complete binary tree below this node).
+			d := uint64(g - l)
+			if d >= 64 {
+				sub = ^uint64(0)
+			} else {
+				sub = (uint64(1) << d) - 1
+			}
+		}
+		total = satAdd(total, sub)
+	}
+	return total
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a+b < a {
+		return ^uint64(0)
+	}
+	return a + b
+}
+
+// Walk visits every present tuple in canonical order.
+func (t *Trie) Walk(fn func(p prefix.Prefix, maxLength uint8)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.present {
+			fn(n.pfx, n.value)
+		}
+		rec(n.children[0])
+		rec(n.children[1])
+	}
+	rec(t.root)
+}
+
+// checkInvariants verifies structural soundness; used by tests.
+func (t *Trie) checkInvariants() error {
+	count := 0
+	var rec func(n *node, depth uint8) error
+	rec = func(n *node, depth uint8) error {
+		if n == nil {
+			return nil
+		}
+		if n.pfx.Len() != depth {
+			return fmt.Errorf("core: node %s at depth %d", n.pfx, depth)
+		}
+		if n.present {
+			count++
+			if n.value < n.pfx.Len() || n.value > n.pfx.MaxLen() {
+				return fmt.Errorf("core: node %s has bad value %d", n.pfx, n.value)
+			}
+		}
+		for bit := uint8(0); bit < 2; bit++ {
+			c := n.children[bit]
+			if c != nil && c.pfx != n.pfx.Child(bit) {
+				return fmt.Errorf("core: child %s under %s on bit %d", c.pfx, n.pfx, bit)
+			}
+			if err := rec(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("core: size %d but %d present nodes", t.size, count)
+	}
+	return nil
+}
+
+// BuildTries partitions a VRP set into per-(AS, family) tries, the structure
+// §7.1 compresses ("For each AS number in the list, we generate a trie for
+// IPv4 and a trie for IPv6").
+func BuildTries(s *rpki.Set) []*Trie {
+	groups := s.ByOrigin()
+	out := make([]*Trie, 0, len(groups))
+	for _, g := range groups {
+		t := NewTrie(g.AS, g.Family)
+		for _, v := range g.VRPs {
+			t.InsertVRP(v)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/rpki"
+)
+
+func TestAnalyzeVulnerabilitiesRunningExample(t *testing.T) {
+	tbl := paperTable()
+	// §4: the non-minimal ROA (168.122.0.0/16-24, AS 111) is vulnerable; the
+	// minimal tuples are not.
+	s := rpki.NewSet([]rpki.VRP{
+		v("168.122.0.0/16", 24, 111),   // vulnerable
+		v("87.254.32.0/19", 19, 31283), // no maxLength use
+	})
+	rep := AnalyzeVulnerabilities(s, tbl, true)
+	if rep.Tuples != 2 || rep.UsingMaxLength != 1 || rep.Vulnerable != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := rep.VulnerableShare(); got != 1.0 {
+		t.Errorf("VulnerableShare = %v", got)
+	}
+	if got := rep.MaxLengthShare(); got != 0.5 {
+		t.Errorf("MaxLengthShare = %v", got)
+	}
+	if len(rep.Vulnerabilities) != 1 {
+		t.Fatalf("no vulnerability collected")
+	}
+	vu := rep.Vulnerabilities[0]
+	if vu.VRP != v("168.122.0.0/16", 24, 111) {
+		t.Errorf("vulnerable tuple = %v", vu.VRP)
+	}
+	// The witness is a forged-origin hijack target: authorized, unannounced.
+	if tbl.Contains(vu.Witness.Prefix, 111) {
+		t.Errorf("witness %v is announced", vu.Witness)
+	}
+	if !vu.VRP.Matches(vu.Witness.Prefix, 111) {
+		t.Errorf("witness %v not authorized by the tuple", vu.Witness)
+	}
+	// Authorized routes: /16 up to /24 = 2^9-1 = 511. Announced: 2.
+	if vu.UnannouncedRoutes != 511-2 {
+		t.Errorf("UnannouncedRoutes = %d, want 509", vu.UnannouncedRoutes)
+	}
+	// The hijack is effective: 168.122.0.0/24 (say) has no announced cover
+	// longer than the /16.
+	if !vu.Effective || rep.Effective != 1 {
+		t.Error("hijack should be effective")
+	}
+}
+
+func TestAnalyzeMinimalMaxLengthTupleNotVulnerable(t *testing.T) {
+	// A maxLength-using tuple whose whole expansion is announced is minimal
+	// and therefore safe (§4: "unless every subprefix ... is announced").
+	tbl := bgp.NewTable([]bgp.Route{
+		{Prefix: mp("10.0.0.0/8"), Origin: 1},
+		{Prefix: mp("10.0.0.0/9"), Origin: 1},
+		{Prefix: mp("10.128.0.0/9"), Origin: 1},
+	})
+	s := rpki.NewSet([]rpki.VRP{v("10.0.0.0/8", 9, 1)})
+	rep := AnalyzeVulnerabilities(s, tbl, true)
+	if rep.UsingMaxLength != 1 || rep.Vulnerable != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestHijackEffectiveness(t *testing.T) {
+	// AS 1 announces 10.0.0.0/8 plus BOTH /9s; a hijack on a /9 is
+	// ineffective (exact-length announcements carry the traffic), but a /10
+	// hijack wins.
+	tbl := bgp.NewTable([]bgp.Route{
+		{Prefix: mp("10.0.0.0/8"), Origin: 1},
+		{Prefix: mp("10.0.0.0/9"), Origin: 1},
+		{Prefix: mp("10.128.0.0/9"), Origin: 1},
+	})
+	if hijackEffective(mp("10.0.0.0/9"), tbl) {
+		t.Error("/9 hijack should be ineffective: the /9 itself is announced")
+	}
+	if !hijackEffective(mp("10.0.0.0/10"), tbl) {
+		t.Error("/10 hijack should be effective: nothing longer covers it")
+	}
+	// Full tiling by longer prefixes also blocks the hijack.
+	tiled := bgp.NewTable([]bgp.Route{
+		{Prefix: mp("10.0.0.0/9"), Origin: 1},
+		{Prefix: mp("10.128.0.0/9"), Origin: 2},
+	})
+	if hijackEffective(mp("10.0.0.0/8"), tiled) {
+		t.Error("/8 hijack ineffective when both /9s are announced")
+	}
+	partial := bgp.NewTable([]bgp.Route{
+		{Prefix: mp("10.0.0.0/9"), Origin: 1},
+	})
+	if !hijackEffective(mp("10.0.0.0/8"), partial) {
+		t.Error("/8 hijack effective when half the space is uncovered")
+	}
+}
+
+func TestVulnerableAddressSpace(t *testing.T) {
+	tbl := paperTable()
+	s := rpki.NewSet([]rpki.VRP{v("168.122.0.0/16", 24, 111)})
+	exp := VulnerableAddressSpace(s, tbl)
+	// 256 /24s authorized at the deepest level; 1 announced (168.122.225.0/24)
+	// => 255 * 256 addresses exposed.
+	want := uint64(255 * 256)
+	if exp[111] != want {
+		t.Fatalf("exposure = %d, want %d", exp[111], want)
+	}
+	// No maxLength use => no exposure.
+	s2 := rpki.NewSet([]rpki.VRP{v("168.122.0.0/16", 16, 111)})
+	if got := VulnerableAddressSpace(s2, tbl); len(got) != 0 {
+		t.Errorf("exposure for minimal tuple: %v", got)
+	}
+}
+
+func TestAnalyzeCollectFlag(t *testing.T) {
+	tbl := paperTable()
+	s := rpki.NewSet([]rpki.VRP{v("168.122.0.0/16", 24, 111)})
+	rep := AnalyzeVulnerabilities(s, tbl, false)
+	if rep.Vulnerable != 1 || rep.Vulnerabilities != nil {
+		t.Fatalf("collect=false should keep counters but no details: %+v", rep)
+	}
+}
+
+func TestReportSharesEmpty(t *testing.T) {
+	var rep Report
+	if rep.VulnerableShare() != 0 || rep.MaxLengthShare() != 0 {
+		t.Error("empty report shares must be 0")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bgp"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file implements the §8 recommendation: RIR user interfaces should
+// "steer operators towards configuring ROAs that (1) do not use maxLength
+// and (2) are minimal, i.e. that explicitly enumerate the set of IP prefixes
+// that an AS actually originates in BGP", using looking-glass data. Suggest
+// builds that minimal ROA from a BGP table; Audit diffs an existing ROA
+// against the suggestion and explains every discrepancy with its risk.
+
+// Suggestion is a proposed minimal ROA for one origin AS, with an optional
+// compressed form for operators who want fewer PDUs without vulnerability.
+type Suggestion struct {
+	AS rpki.ASN
+	// Minimal is the recommended ROA: exactly the announced prefixes, no
+	// maxLength.
+	Minimal rpki.ROA
+	// Compressed applies §7's algorithm to the minimal ROA; it authorizes
+	// exactly the same routes with fewer entries.
+	Compressed rpki.ROA
+}
+
+// Suggest builds the minimal-ROA suggestion for an AS from the BGP table.
+// The bool reports whether the AS announces anything.
+func Suggest(as rpki.ASN, table *bgp.Table) (Suggestion, bool) {
+	prefixes := table.PrefixesOf(as)
+	if len(prefixes) == 0 {
+		return Suggestion{AS: as}, false
+	}
+	s := Suggestion{AS: as}
+	for _, p := range prefixes {
+		s.Minimal.Prefixes = append(s.Minimal.Prefixes, rpki.ROAPrefix{Prefix: p, MaxLength: p.Len()})
+	}
+	s.Minimal.AS = as
+	compressed, _ := Compress(rpki.SetFromROAs([]rpki.ROA{s.Minimal}), Options{})
+	s.Compressed.AS = as
+	for _, v := range compressed.VRPs() {
+		s.Compressed.Prefixes = append(s.Compressed.Prefixes, rpki.ROAPrefix{Prefix: v.Prefix, MaxLength: v.MaxLength})
+	}
+	return s, true
+}
+
+// FindingKind classifies one audit discrepancy.
+type FindingKind int
+
+// Audit finding kinds.
+const (
+	// VulnerableEntry: the entry authorizes unannounced routes — the §4
+	// forged-origin subprefix hijack surface.
+	VulnerableEntry FindingKind = iota
+	// StaleEntry: the entry's own prefix is not announced at all.
+	StaleEntry
+	// MissingPrefix: the AS announces this prefix but no entry authorizes
+	// it (its routes are Invalid at validating routers — §3's broken
+	// de-aggregation).
+	MissingPrefix
+)
+
+// String names the finding kind.
+func (k FindingKind) String() string {
+	switch k {
+	case VulnerableEntry:
+		return "VULNERABLE"
+	case StaleEntry:
+		return "STALE"
+	case MissingPrefix:
+		return "MISSING"
+	default:
+		return fmt.Sprintf("FindingKind(%d)", int(k))
+	}
+}
+
+// Finding is one audit discrepancy.
+type Finding struct {
+	Kind   FindingKind
+	Entry  rpki.ROAPrefix // the offending ROA entry (Vulnerable/Stale)
+	Prefix prefix.Prefix  // the affected prefix (Missing: the announcement)
+	Detail string
+}
+
+// Audit compares an operator's ROA against what the AS actually announces
+// and returns the discrepancies, worst first.
+func Audit(roa rpki.ROA, table *bgp.Table) []Finding {
+	var out []Finding
+	set := rpki.SetFromROAs([]rpki.ROA{roa})
+	for _, entry := range roa.Prefixes {
+		v := rpki.VRP{Prefix: entry.Prefix, MaxLength: entry.MaxLength, AS: roa.AS}
+		want := v.AuthorizedCount()
+		got := uint64(table.WalkAnnouncedUnder(roa.AS, entry.Prefix, entry.MaxLength, nil))
+		switch {
+		case got == 0:
+			out = append(out, Finding{
+				Kind:  StaleEntry,
+				Entry: entry,
+				Detail: fmt.Sprintf("no announcement by %s under %s; remove the entry or announce the prefix",
+					roa.AS, entry),
+			})
+		case got < want:
+			w, _ := findUnannounced(v, table)
+			out = append(out, Finding{
+				Kind:   VulnerableEntry,
+				Entry:  entry,
+				Prefix: w.Prefix,
+				Detail: fmt.Sprintf("%d authorized routes are unannounced (e.g. %s); a forged-origin subprefix hijack on any of them captures 100%% of its traffic",
+					want-got, w.Prefix),
+			})
+		}
+	}
+	// Announced prefixes with no matching authorization.
+	for _, p := range table.PrefixesOf(roa.AS) {
+		authorized := false
+		for _, v := range set.VRPs() {
+			if v.Matches(p, roa.AS) {
+				authorized = true
+				break
+			}
+		}
+		if !authorized {
+			out = append(out, Finding{
+				Kind:   MissingPrefix,
+				Prefix: p,
+				Detail: fmt.Sprintf("announced by %s but not authorized; validating routers drop it as Invalid", roa.AS),
+			})
+		}
+	}
+	// Worst first: vulnerable, then missing, then stale.
+	order := map[FindingKind]int{VulnerableEntry: 0, MissingPrefix: 1, StaleEntry: 2}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && order[out[j].Kind] < order[out[j-1].Kind]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RenderSuggestion writes the suggestion the way an RIR portal should
+// present it (§8): the minimal ROA first, the compressed alternative, and
+// an explicit warning gate before any maxLength use.
+func RenderSuggestion(w io.Writer, s Suggestion) error {
+	if _, err := fmt.Fprintf(w, "Suggested minimal ROA for %s (from BGP looking-glass data):\n", s.AS); err != nil {
+		return err
+	}
+	for _, e := range s.Minimal.Prefixes {
+		if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+			return err
+		}
+	}
+	if len(s.Compressed.Prefixes) < len(s.Minimal.Prefixes) {
+		if _, err := fmt.Fprintf(w, "Equivalent compressed form (%d -> %d entries, still minimal):\n",
+			len(s.Minimal.Prefixes), len(s.Compressed.Prefixes)); err != nil {
+			return err
+		}
+		for _, e := range s.Compressed.Prefixes {
+			if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "WARNING: configuring a maxLength beyond these entries authorizes routes\n"+
+		"%s does not announce and exposes them to forged-origin subprefix hijacks.\n", s.AS)
+	return err
+}

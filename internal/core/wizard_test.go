@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rpki"
+)
+
+func TestSuggestMinimalROA(t *testing.T) {
+	tbl := paperTable()
+	s, ok := Suggest(31283, tbl)
+	if !ok {
+		t.Fatal("AS 31283 announces prefixes")
+	}
+	if len(s.Minimal.Prefixes) != 4 {
+		t.Fatalf("minimal = %v", s.Minimal.Prefixes)
+	}
+	for _, e := range s.Minimal.Prefixes {
+		if e.UsesMaxLength() {
+			t.Errorf("suggested entry %v uses maxLength", e)
+		}
+	}
+	// The compressed alternative is Figure 2's 2-entry form.
+	if len(s.Compressed.Prefixes) != 2 {
+		t.Fatalf("compressed = %v", s.Compressed.Prefixes)
+	}
+	// Both forms must be minimal w.r.t. the table.
+	for _, roa := range []rpki.ROA{s.Minimal, s.Compressed} {
+		if ok, w := IsMinimal(rpki.SetFromROAs([]rpki.ROA{roa}), tbl); !ok {
+			t.Errorf("suggestion not minimal: witness %v", w)
+		}
+	}
+	if _, ok := Suggest(9999, tbl); ok {
+		t.Error("suggestion for a silent AS")
+	}
+}
+
+func TestSuggestSemanticEquivalence(t *testing.T) {
+	tbl := paperTable()
+	s, _ := Suggest(31283, tbl)
+	a := rpki.SetFromROAs([]rpki.ROA{s.Minimal})
+	b := rpki.SetFromROAs([]rpki.ROA{s.Compressed})
+	if ok, ce := SemanticEqual(a, b); !ok {
+		t.Fatalf("compressed suggestion differs: %v", ce)
+	}
+}
+
+func TestAuditVulnerableEntry(t *testing.T) {
+	tbl := paperTable()
+	roa := rpki.ROA{AS: 111, Prefixes: []rpki.ROAPrefix{
+		{Prefix: mp("168.122.0.0/16"), MaxLength: 24}, // the §4 misconfiguration
+	}}
+	fs := Audit(roa, tbl)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	f := fs[0]
+	if f.Kind != VulnerableEntry {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if !strings.Contains(f.Detail, "forged-origin") {
+		t.Errorf("detail = %q", f.Detail)
+	}
+	if !mp("168.122.0.0/16").Contains(f.Prefix) || tbl.Contains(f.Prefix, 111) {
+		t.Errorf("witness prefix %v wrong", f.Prefix)
+	}
+}
+
+func TestAuditStaleAndMissing(t *testing.T) {
+	tbl := paperTable()
+	roa := rpki.ROA{AS: 111, Prefixes: []rpki.ROAPrefix{
+		{Prefix: mp("168.122.0.0/16"), MaxLength: 16}, // fine
+		{Prefix: mp("203.0.113.0/24"), MaxLength: 24}, // stale: never announced
+		// 168.122.225.0/24 is announced but missing from the ROA.
+	}}
+	fs := Audit(roa, tbl)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	// Order: missing (worse) before stale.
+	if fs[0].Kind != MissingPrefix || fs[1].Kind != StaleEntry {
+		t.Fatalf("ordering = %v, %v", fs[0].Kind, fs[1].Kind)
+	}
+	if fs[0].Prefix != mp("168.122.225.0/24") {
+		t.Errorf("missing prefix = %v", fs[0].Prefix)
+	}
+	if fs[1].Entry.Prefix != mp("203.0.113.0/24") {
+		t.Errorf("stale entry = %v", fs[1].Entry)
+	}
+}
+
+func TestAuditCleanROA(t *testing.T) {
+	tbl := paperTable()
+	s, _ := Suggest(111, tbl)
+	if fs := Audit(s.Minimal, tbl); len(fs) != 0 {
+		t.Fatalf("clean ROA produced findings: %+v", fs)
+	}
+	// The compressed suggestion audits clean too.
+	if fs := Audit(s.Compressed, tbl); len(fs) != 0 {
+		t.Fatalf("compressed suggestion produced findings: %+v", fs)
+	}
+}
+
+func TestFindingKindString(t *testing.T) {
+	for _, k := range []FindingKind{VulnerableEntry, StaleEntry, MissingPrefix} {
+		if strings.HasPrefix(k.String(), "FindingKind(") {
+			t.Errorf("missing name for %v", int(k))
+		}
+	}
+	if !strings.Contains(FindingKind(7).String(), "7") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestRenderSuggestion(t *testing.T) {
+	tbl := paperTable()
+	s, _ := Suggest(31283, tbl)
+	var buf bytes.Buffer
+	if err := RenderSuggestion(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"AS31283", "87.254.32.0/19-20", "WARNING", "4 -> 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// An AS without compressible structure renders without the compressed
+	// section.
+	s2, _ := Suggest(111, tbl)
+	buf.Reset()
+	if err := RenderSuggestion(&buf, s2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "compressed form") {
+		t.Errorf("unexpected compressed section:\n%s", buf.String())
+	}
+}

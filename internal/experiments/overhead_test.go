@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasureOverhead(t *testing.T) {
+	d := smallDataset()
+	rows := MeasureOverhead(d)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Tuples != d.VRPs.Len() {
+		t.Errorf("today tuples = %d, want %d", rows[0].Tuples, d.VRPs.Len())
+	}
+	if rows[1].Tuples != d.Table.Len() {
+		t.Errorf("full tuples = %d, want %d", rows[1].Tuples, d.Table.Len())
+	}
+	// Full deployment processes more tuples than today's RPKI.
+	if rows[1].Tuples <= rows[0].Tuples {
+		t.Error("scenario ordering wrong")
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 {
+			t.Errorf("%s wall = %v", r.Scenario, r.Wall)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderOverhead(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2.4 s / 19 MB", "36 s / 290 MB", "Full deployment", "MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderPlot draws the figure as an ASCII chart: time on the x axis, PDU
+// count on the y axis, one glyph per series, mirroring the gnuplot panels of
+// Figure 3. Safe (solid-line) series use filled glyphs, vulnerable (dashed)
+// series hollow ones.
+func (f Figure3) RenderPlot(w io.Writer, height int) error {
+	if height < 4 {
+		height = 12
+	}
+	lo, hi := f.bounds()
+	if hi == lo {
+		hi = lo + 1
+	}
+	// One column per date, padded for readability.
+	const colWidth = 9
+	rows := make([][]rune, height)
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(" ", colWidth*len(f.Dates)+2))
+	}
+	glyphs := []struct {
+		filled, hollow rune
+	}{{'#', '*'}, {'@', 'o'}, {'%', '+'}, {'&', 'x'}}
+	for si, s := range f.Scenarios {
+		g := glyphs[si%len(glyphs)]
+		ch := g.hollow
+		if s.Secure() {
+			ch = g.filled
+		}
+		for di, v := range f.Series[s] {
+			y := int(float64(height-1) * float64(v-lo) / float64(hi-lo))
+			row := height - 1 - y
+			col := 2 + di*colWidth + colWidth/2
+			if rows[row][col] != ' ' {
+				col++ // nudge collisions right rather than overwrite
+			}
+			rows[row][col] = ch
+		}
+	}
+	if _, err := fmt.Fprintln(w, f.Title); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8d", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8d", lo)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(r)); err != nil {
+			return err
+		}
+	}
+	var axis strings.Builder
+	axis.WriteString("         +")
+	axis.WriteString(strings.Repeat("-", colWidth*len(f.Dates)))
+	if _, err := fmt.Fprintln(w, axis.String()); err != nil {
+		return err
+	}
+	var dates strings.Builder
+	dates.WriteString("          ")
+	for _, d := range f.Dates {
+		dates.WriteString(fmt.Sprintf(" %-*s", colWidth-1, d.Format("1/2")))
+	}
+	if _, err := fmt.Fprintln(w, dates.String()); err != nil {
+		return err
+	}
+	// Legend.
+	for si, s := range f.Scenarios {
+		g := glyphs[si%len(glyphs)]
+		ch := g.hollow
+		style := "dashed/vulnerable"
+		if s.Secure() {
+			ch = g.filled
+			style = "solid/safe"
+		}
+		if _, err := fmt.Fprintf(w, "  %c  %s [%s]\n", ch, s, style); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f Figure3) bounds() (lo, hi int) {
+	first := true
+	for _, s := range f.Scenarios {
+		for _, v := range f.Series[s] {
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestRenderPlot(t *testing.T) {
+	fig := Figure3{
+		Title:     "test figure",
+		Scenarios: Figure3Scenarios(true),
+		Dates:     synth.Dates6_1(),
+		Series:    map[Scenario][]int{},
+	}
+	base := 700000
+	for i, s := range fig.Scenarios {
+		for w := 0; w < 8; w++ {
+			fig.Series[s] = append(fig.Series[s], base+5000*w+20000*i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderPlot(&buf, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test figure") {
+		t.Error("title missing")
+	}
+	// Axis labels carry the bounds.
+	if !strings.Contains(out, "700000") {
+		t.Errorf("lower bound label missing:\n%s", out)
+	}
+	// Legend lists every series with its style.
+	for _, s := range fig.Scenarios {
+		if !strings.Contains(out, s.String()) {
+			t.Errorf("legend missing %q", s)
+		}
+	}
+	if !strings.Contains(out, "solid/safe") || !strings.Contains(out, "dashed/vulnerable") {
+		t.Error("legend styles missing")
+	}
+	// Plot body contains glyphs for each series (filled for safe).
+	if !strings.ContainsAny(out, "#@%") {
+		t.Error("no safe-series glyphs plotted")
+	}
+	if !strings.ContainsRune(out, '+') {
+		t.Error("no vulnerable-series glyphs plotted")
+	}
+}
+
+func TestRenderPlotDegenerate(t *testing.T) {
+	// Flat series (hi == lo) and tiny height must not panic or divide by zero.
+	fig := Figure3{
+		Title:     "flat",
+		Scenarios: []Scenario{Today},
+		Dates:     synth.Dates6_1(),
+		Series:    map[Scenario][]int{Today: {5, 5, 5, 5, 5, 5, 5, 5}},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderPlot(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

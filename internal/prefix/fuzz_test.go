@@ -1,0 +1,29 @@
+package prefix
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip through String canonically.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8", "168.122.0.0/16", "0.0.0.0/0", "255.255.255.255/32",
+		"2001:db8::/32", "::/0", "::1/128", "fe80::1:2:3/64",
+		"", "/", "10.0.0.0", "10.0.0.0/", "x/8", "1:2::3::4/64",
+		"999.1.1.1/8", "10.0.0.0/33", "2001:db8::/129",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", p, s, err)
+		}
+		if q != p {
+			t.Fatalf("round trip changed %q: %v vs %v", s, q, p)
+		}
+	})
+}

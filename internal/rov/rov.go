@@ -1,0 +1,150 @@
+// Package rov implements BGP Prefix Origin Validation (RFC 6811): given the
+// Validated ROA Payloads a router learned from its RPKI cache, classify a
+// route announcement as Valid, Invalid, or NotFound.
+//
+// The definitions follow RFC 6811 §2 exactly:
+//
+//   - A VRP "covers" a route when the VRP prefix contains the route prefix
+//     (ignoring maxLength and origin).
+//   - A VRP "matches" a route when it covers it, the route's origin equals
+//     the VRP's AS, and the route prefix length does not exceed maxLength.
+//   - A route is Valid if at least one VRP matches it, Invalid if at least
+//     one VRP covers it but none matches, and NotFound if no VRP covers it.
+//
+// The paper's attacks live precisely in this classifier's gaps: a
+// forged-origin subprefix hijack is *Valid* here whenever a non-minimal ROA
+// authorizes the hijacked subprefix (§4).
+//
+// Two implementations are provided: Index, a binary-trie ancestor walk used
+// everywhere, and Reference, a linear scan used to cross-check Index in
+// property tests.
+package rov
+
+import (
+	"fmt"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// State is the RFC 6811 validation state of a route.
+type State uint8
+
+// Validation states.
+const (
+	NotFound State = iota // no covering VRP
+	Invalid               // covered but not matched
+	Valid                 // matched
+)
+
+// String returns "NotFound", "Invalid" or "Valid".
+func (s State) String() string {
+	switch s {
+	case NotFound:
+		return "NotFound"
+	case Invalid:
+		return "Invalid"
+	case Valid:
+		return "Valid"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// entry is the payload stored at a trie node: the VRPs whose prefix equals
+// the node's prefix.
+type entry struct {
+	maxLength uint8
+	as        rpki.ASN
+}
+
+type inode struct {
+	children [2]*inode
+	entries  []entry
+}
+
+// Index answers RFC 6811 queries in O(route prefix length). Build one with
+// NewIndex; an Index is immutable and safe for concurrent readers.
+type Index struct {
+	roots map[prefix.Family]*inode
+	size  int
+}
+
+// NewIndex builds a validation index over the set's VRPs.
+func NewIndex(s *rpki.Set) *Index {
+	ix := &Index{roots: map[prefix.Family]*inode{
+		prefix.IPv4: new(inode),
+		prefix.IPv6: new(inode),
+	}}
+	for _, v := range s.VRPs() {
+		n := ix.roots[v.Prefix.Family()]
+		for depth := uint8(0); depth < v.Prefix.Len(); depth++ {
+			bit := v.Prefix.Bit(depth)
+			if n.children[bit] == nil {
+				n.children[bit] = new(inode)
+			}
+			n = n.children[bit]
+		}
+		n.entries = append(n.entries, entry{maxLength: v.MaxLength, as: v.AS})
+		ix.size++
+	}
+	return ix
+}
+
+// Len returns the number of indexed VRPs.
+func (ix *Index) Len() int { return ix.size }
+
+// Validate classifies route (p, origin) per RFC 6811.
+func (ix *Index) Validate(p prefix.Prefix, origin rpki.ASN) State {
+	state := NotFound
+	n := ix.roots[p.Family()]
+	for depth := uint8(0); n != nil; depth++ {
+		for _, e := range n.entries {
+			// Every entry on the ancestor path covers p by construction.
+			if state == NotFound {
+				state = Invalid
+			}
+			if e.as == origin && p.Len() <= e.maxLength {
+				return Valid
+			}
+		}
+		if depth >= p.Len() {
+			break
+		}
+		n = n.children[p.Bit(depth)]
+	}
+	return state
+}
+
+// ValidateRoute is a convenience wrapper over (prefix, origin) pairs
+// expressed as a VRP-shaped route.
+func (ix *Index) ValidateRoute(p prefix.Prefix, origin rpki.ASN) (State, bool) {
+	s := ix.Validate(p, origin)
+	return s, s == Valid
+}
+
+// Reference is the obviously-correct linear-scan validator used to
+// cross-check Index.
+type Reference struct {
+	vrps []rpki.VRP
+}
+
+// NewReference builds a reference validator.
+func NewReference(s *rpki.Set) *Reference {
+	return &Reference{vrps: s.VRPs()}
+}
+
+// Validate classifies route (p, origin) by scanning every VRP.
+func (r *Reference) Validate(p prefix.Prefix, origin rpki.ASN) State {
+	state := NotFound
+	for _, v := range r.vrps {
+		if !v.Covers(p) {
+			continue
+		}
+		if v.Matches(p, origin) {
+			return Valid
+		}
+		state = Invalid
+	}
+	return state
+}

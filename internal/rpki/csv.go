@@ -1,0 +1,83 @@
+package rpki
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/prefix"
+)
+
+// The CSV exchange format mirrors the output of the RIPE validator and of
+// scan_roas: one "prefix,maxLength,asn" tuple per line, '#' comments and
+// blank lines ignored. An optional header line "prefix,maxlength,asn" is
+// tolerated.
+
+// ReadCSV parses VRP tuples from r and returns a normalized Set.
+func ReadCSV(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var vrps []VRP
+	lineno, sawData := 0, false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawData && strings.EqualFold(line, "prefix,maxlength,asn") {
+			sawData = true
+			continue
+		}
+		sawData = true
+		v, err := parseCSVLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rpki: line %d: %w", lineno, err)
+		}
+		vrps = append(vrps, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rpki: reading VRP CSV: %w", err)
+	}
+	return NewSet(vrps), nil
+}
+
+func parseCSVLine(line string) (VRP, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 3 {
+		return VRP{}, fmt.Errorf("want 3 fields, got %d in %q", len(fields), line)
+	}
+	p, err := prefix.Parse(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return VRP{}, err
+	}
+	ml, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 8)
+	if err != nil {
+		return VRP{}, fmt.Errorf("bad maxLength %q: %v", fields[1], err)
+	}
+	as, err := ParseASN(strings.TrimSpace(fields[2]))
+	if err != nil {
+		return VRP{}, err
+	}
+	v := VRP{Prefix: p, MaxLength: uint8(ml), AS: as}
+	if err := v.Validate(); err != nil {
+		return VRP{}, err
+	}
+	return v, nil
+}
+
+// WriteCSV writes the set in canonical order with a header line.
+func WriteCSV(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("prefix,maxlength,asn\n"); err != nil {
+		return err
+	}
+	for _, v := range s.VRPs() {
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d\n", v.Prefix, v.MaxLength, uint32(v.AS)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,118 @@
+package rpkix
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/asn1"
+	"fmt"
+)
+
+// CMS SignedData (RFC 5652), profiled per RFC 6488: exactly one signer,
+// SHA-256 digest, the EE certificate embedded, signerIdentifier by
+// SubjectKeyIdentifier. Signatures are computed over the eContent octets
+// directly (no signedAttrs), which RFC 5652 §5.4 permits.
+
+type contentInfo struct {
+	ContentType asn1.ObjectIdentifier
+	Content     signedData `asn1:"explicit,tag:0"`
+}
+
+type signedData struct {
+	Version          int
+	DigestAlgorithms []algorithmIdentifier `asn1:"set"`
+	EncapContentInfo encapContentInfo
+	Certificates     []asn1.RawValue `asn1:"optional,tag:0"`
+	SignerInfos      []signerInfo    `asn1:"set"`
+}
+
+type algorithmIdentifier struct {
+	Algorithm asn1.ObjectIdentifier
+}
+
+type encapContentInfo struct {
+	EContentType asn1.ObjectIdentifier
+	EContent     []byte `asn1:"explicit,optional,tag:0"`
+}
+
+type signerInfo struct {
+	Version            int
+	SubjectKeyID       []byte `asn1:"tag:0"`
+	DigestAlgorithm    algorithmIdentifier
+	SignatureAlgorithm algorithmIdentifier
+	Signature          []byte
+}
+
+// SignedObject is a parsed, not-yet-validated RPKI signed object.
+type SignedObject struct {
+	EContentType asn1.ObjectIdentifier
+	EContent     []byte
+	EECert       *x509.Certificate
+	signature    []byte
+	subjectKeyID []byte
+}
+
+// SignROA wraps a ROA eContent in a SignedData envelope signed by the EE
+// key, embedding the EE certificate.
+func SignROA(eContent []byte, eeCert *x509.Certificate, eeKey *ecdsa.PrivateKey) ([]byte, error) {
+	return signObject(oidRouteOriginAttestation, eContent, eeCert, eeKey)
+}
+
+// ParseSignedObject parses a SignedData envelope without validating it.
+func ParseSignedObject(der []byte) (*SignedObject, error) {
+	var ci contentInfo
+	rest, err := asn1.Unmarshal(der, &ci)
+	if err != nil {
+		return nil, fmt.Errorf("rpkix: parsing ContentInfo: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("rpkix: trailing bytes after ContentInfo")
+	}
+	if !ci.ContentType.Equal(oidSignedData) {
+		return nil, fmt.Errorf("rpkix: contentType %v is not SignedData", ci.ContentType)
+	}
+	sd := ci.Content
+	if sd.Version != 3 {
+		return nil, fmt.Errorf("rpkix: SignedData version %d, want 3", sd.Version)
+	}
+	if len(sd.SignerInfos) != 1 {
+		return nil, fmt.Errorf("rpkix: %d signers, want exactly 1", len(sd.SignerInfos))
+	}
+	si := sd.SignerInfos[0]
+	if !si.DigestAlgorithm.Algorithm.Equal(oidSHA256) ||
+		!si.SignatureAlgorithm.Algorithm.Equal(oidECDSAWithSHA256) {
+		return nil, fmt.Errorf("rpkix: unsupported signer algorithms")
+	}
+	if len(sd.Certificates) != 1 {
+		return nil, fmt.Errorf("rpkix: %d embedded certificates, want 1", len(sd.Certificates))
+	}
+	ee, err := x509.ParseCertificate(sd.Certificates[0].FullBytes)
+	if err != nil {
+		return nil, fmt.Errorf("rpkix: parsing EE certificate: %w", err)
+	}
+	return &SignedObject{
+		EContentType: sd.EncapContentInfo.EContentType,
+		EContent:     sd.EncapContentInfo.EContent,
+		EECert:       ee,
+		signature:    si.Signature,
+		subjectKeyID: si.SubjectKeyID,
+	}, nil
+}
+
+// VerifySignature checks the signer binding and the ECDSA signature over the
+// eContent with the embedded EE certificate's public key.
+func (o *SignedObject) VerifySignature() error {
+	if !bytes.Equal(o.subjectKeyID, o.EECert.SubjectKeyId) {
+		return fmt.Errorf("rpkix: signerInfo SKI does not match EE certificate")
+	}
+	pub, ok := o.EECert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("rpkix: EE certificate key is %T, want ECDSA", o.EECert.PublicKey)
+	}
+	digest := sha256.Sum256(o.EContent)
+	if !ecdsa.VerifyASN1(pub, digest[:], o.signature) {
+		return fmt.Errorf("rpkix: signature verification failed")
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package rpkix
+
+import (
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+
+	"repro/internal/prefix"
+)
+
+// RFC 3779 IP resource extension (prefixes-only profile: no ranges, no
+// "inherit").
+//
+//	IPAddrBlocks      ::= SEQUENCE OF IPAddressFamily
+//	IPAddressFamily   ::= SEQUENCE { addressFamily OCTET STRING,
+//	                                 addressesOrRanges SEQUENCE OF BIT STRING }
+type ipAddressFamilyASN1 struct {
+	AddressFamily []byte
+	Addresses     []asn1.BitString
+}
+
+// EncodeIPResources builds the id-pe-ipAddrBlocks extension value for the
+// given prefixes. The extension is marked critical, as RFC 6487 requires.
+func EncodeIPResources(prefixes []prefix.Prefix) (pkix.Extension, error) {
+	var v4, v6 []asn1.BitString
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return pkix.Extension{}, fmt.Errorf("rpkix: invalid prefix in resources")
+		}
+		if p.Family() == prefix.IPv4 {
+			v4 = append(v4, prefixToBitString(p))
+		} else {
+			v6 = append(v6, prefixToBitString(p))
+		}
+	}
+	var blocks []ipAddressFamilyASN1
+	if len(v4) > 0 {
+		blocks = append(blocks, ipAddressFamilyASN1{AddressFamily: afiIPv4, Addresses: v4})
+	}
+	if len(v6) > 0 {
+		blocks = append(blocks, ipAddressFamilyASN1{AddressFamily: afiIPv6, Addresses: v6})
+	}
+	der, err := asn1.Marshal(blocks)
+	if err != nil {
+		return pkix.Extension{}, err
+	}
+	return pkix.Extension{Id: oidIPAddrBlocks, Critical: true, Value: der}, nil
+}
+
+// DecodeIPResources parses an id-pe-ipAddrBlocks extension value.
+func DecodeIPResources(ext pkix.Extension) ([]prefix.Prefix, error) {
+	if !ext.Id.Equal(oidIPAddrBlocks) {
+		return nil, fmt.Errorf("rpkix: extension %v is not id-pe-ipAddrBlocks", ext.Id)
+	}
+	var blocks []ipAddressFamilyASN1
+	rest, err := asn1.Unmarshal(ext.Value, &blocks)
+	if err != nil {
+		return nil, fmt.Errorf("rpkix: parsing IP resources: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("rpkix: trailing bytes in IP resources")
+	}
+	var out []prefix.Prefix
+	for _, blk := range blocks {
+		var fam prefix.Family
+		switch string(blk.AddressFamily) {
+		case string(afiIPv4):
+			fam = prefix.IPv4
+		case string(afiIPv6):
+			fam = prefix.IPv6
+		default:
+			return nil, fmt.Errorf("rpkix: unknown AFI %x in resources", blk.AddressFamily)
+		}
+		for _, bs := range blk.Addresses {
+			p, err := bitStringToPrefix(fam, bs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ResourcesContain reports whether every prefix in need is contained in some
+// prefix of have — the RFC 6487 issuance invariant checked along the chain.
+func ResourcesContain(have, need []prefix.Prefix) bool {
+	for _, n := range need {
+		ok := false
+		for _, h := range have {
+			if h.Contains(n) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AllResources returns the prefixes covering the whole address space, used
+// by the trust anchor.
+func AllResources() []prefix.Prefix {
+	return []prefix.Prefix{prefix.MustParse("0.0.0.0/0"), prefix.MustParse("::/0")}
+}

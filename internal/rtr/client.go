@@ -1,0 +1,214 @@
+package rtr
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/rpki"
+)
+
+// Client is the router side of the protocol: it synchronizes a local copy of
+// the cache's VRP set — the table a router consults for origin validation.
+type Client struct {
+	// Version is the protocol version to speak (Version1 by default).
+	Version byte
+
+	conn net.Conn
+
+	mu        sync.Mutex
+	sessionID uint16
+	serial    uint32
+	haveState bool
+	vrps      map[rpki.VRP]struct{}
+	// notify records the highest serial seen in a Serial Notify since the
+	// last sync.
+	notifySerial uint32
+	notified     bool
+}
+
+// Dial connects to a cache at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in tests).
+func NewClient(nc net.Conn) *Client {
+	return &Client{Version: Version1, conn: nc, vrps: make(map[rpki.VRP]struct{})}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Serial returns the serial of the last completed sync.
+func (c *Client) Serial() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// SessionID returns the cache session from the last completed sync.
+func (c *Client) SessionID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// Set returns the synchronized VRPs as a normalized set.
+func (c *Client) Set() *rpki.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]rpki.VRP, 0, len(c.vrps))
+	for v := range c.vrps {
+		out = append(out, v)
+	}
+	return rpki.NewSet(out)
+}
+
+// Len returns the number of synchronized VRPs.
+func (c *Client) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vrps)
+}
+
+// Reset performs a full synchronization (Reset Query → Cache Response →
+// prefix PDUs → End of Data).
+func (c *Client) Reset() error {
+	if err := WritePDU(c.conn, c.Version, &ResetQuery{}); err != nil {
+		return err
+	}
+	return c.readUpdate(true)
+}
+
+// Sync brings the client up to date: an incremental Serial Query when state
+// exists, falling back to a full Reset on Cache Reset. It returns the serial
+// synchronized to.
+func (c *Client) Sync() (uint32, error) {
+	c.mu.Lock()
+	have := c.haveState
+	q := &SerialQuery{SessionID: c.sessionID, Serial: c.serial}
+	c.mu.Unlock()
+	if !have {
+		if err := c.Reset(); err != nil {
+			return 0, err
+		}
+		return c.Serial(), nil
+	}
+	if err := WritePDU(c.conn, c.Version, q); err != nil {
+		return 0, err
+	}
+	if err := c.readUpdate(false); err != nil {
+		var cr cacheResetError
+		if errors.As(err, &cr) {
+			if err := c.Reset(); err != nil {
+				return 0, err
+			}
+			return c.Serial(), nil
+		}
+		return 0, err
+	}
+	return c.Serial(), nil
+}
+
+// WaitNotify blocks until a Serial Notify arrives and returns its serial.
+// Any other PDU in this state is a protocol violation.
+func (c *Client) WaitNotify() (uint32, error) {
+	pdu, _, err := ReadPDU(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := pdu.(*SerialNotify)
+	if !ok {
+		return 0, fmt.Errorf("rtr: expected Serial Notify, got type %d", pdu.Type())
+	}
+	c.mu.Lock()
+	c.notifySerial, c.notified = n.Serial, true
+	c.mu.Unlock()
+	return n.Serial, nil
+}
+
+// cacheResetError signals that the cache cannot serve the incremental query.
+type cacheResetError struct{}
+
+func (cacheResetError) Error() string { return "rtr: cache reset" }
+
+// readUpdate consumes a Cache Response sequence and applies it. full
+// indicates a reset (clear state first).
+func (c *Client) readUpdate(full bool) error {
+	// Await Cache Response, tolerating interleaved Serial Notify PDUs (the
+	// cache may notify while our query is in flight).
+	var session uint16
+	for {
+		pdu, _, err := ReadPDU(c.conn)
+		if err != nil {
+			return err
+		}
+		switch p := pdu.(type) {
+		case *CacheResponse:
+			session = p.SessionID
+		case *SerialNotify:
+			c.mu.Lock()
+			c.notifySerial, c.notified = p.Serial, true
+			c.mu.Unlock()
+			continue
+		case *CacheReset:
+			return cacheResetError{}
+		case *ErrorReport:
+			return p
+		default:
+			return fmt.Errorf("rtr: expected Cache Response, got type %d", pdu.Type())
+		}
+		break
+	}
+	staged := make(map[rpki.VRP]struct{})
+	var withdrawals []rpki.VRP
+	for {
+		pdu, _, err := ReadPDU(c.conn)
+		if err != nil {
+			return err
+		}
+		switch p := pdu.(type) {
+		case *Prefix:
+			if p.Flags&FlagAnnounce != 0 {
+				staged[p.VRP] = struct{}{}
+			} else {
+				withdrawals = append(withdrawals, p.VRP)
+			}
+		case *SerialNotify:
+			c.mu.Lock()
+			c.notifySerial, c.notified = p.Serial, true
+			c.mu.Unlock()
+		case *RouterKey:
+			// Accepted and ignored: BGPsec is out of scope here.
+		case *EndOfData:
+			if p.SessionID != session {
+				return fmt.Errorf("rtr: End of Data session %d != Cache Response session %d", p.SessionID, session)
+			}
+			c.mu.Lock()
+			if full {
+				c.vrps = make(map[rpki.VRP]struct{}, len(staged))
+			}
+			for v := range staged {
+				c.vrps[v] = struct{}{}
+			}
+			for _, v := range withdrawals {
+				delete(c.vrps, v)
+			}
+			c.sessionID = session
+			c.serial = p.Serial
+			c.haveState = true
+			c.mu.Unlock()
+			return nil
+		case *ErrorReport:
+			return p
+		default:
+			return fmt.Errorf("rtr: unexpected PDU type %d in update", pdu.Type())
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Package rtr implements the RPKI-to-Router protocol — RFC 6810 (version 0)
+// and RFC 8210 (version 1) — the channel of Figure 1 through which an RPKI
+// local cache pushes its validated (prefix, maxLength, origin AS) PDUs to
+// routers. The package provides the binary PDU codec, a cache server with
+// serial-numbered incremental updates, and a router-side client that
+// maintains the validated prefix table routers feed into origin validation.
+//
+// Every PDU starts with a common 8-byte header:
+//
+//	0          8          16         24        31
+//	+----------+----------+----------+----------+
+//	| version  | PDU type |  session id / zero  |
+//	+----------+----------+----------+----------+
+//	|                 length                    |
+//	+-------------------------------------------+
+//
+// followed by a type-specific body. All integers are big-endian.
+package rtr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// Protocol versions.
+const (
+	Version0 byte = 0 // RFC 6810
+	Version1 byte = 1 // RFC 8210
+)
+
+// PDU type codes.
+const (
+	TypeSerialNotify  byte = 0
+	TypeSerialQuery   byte = 1
+	TypeResetQuery    byte = 2
+	TypeCacheResponse byte = 3
+	TypeIPv4Prefix    byte = 4
+	TypeIPv6Prefix    byte = 6
+	TypeEndOfData     byte = 7
+	TypeCacheReset    byte = 8
+	TypeRouterKey     byte = 9 // version 1 only
+	TypeErrorReport   byte = 10
+)
+
+// Error Report codes (RFC 6810 §10, RFC 8210 §12).
+const (
+	ErrCorruptData           uint16 = 0
+	ErrInternalError         uint16 = 1
+	ErrNoDataAvailable       uint16 = 2
+	ErrInvalidRequest        uint16 = 3
+	ErrUnsupportedVersion    uint16 = 4
+	ErrUnsupportedPDUType    uint16 = 5
+	ErrWithdrawalOfUnknown   uint16 = 6
+	ErrDuplicateAnnouncement uint16 = 7
+)
+
+// Prefix PDU flags.
+const (
+	FlagWithdraw byte = 0 // bit 0 clear: withdraw
+	FlagAnnounce byte = 1 // bit 0 set: announce
+)
+
+// MaxPDUSize bounds accepted PDUs; Error Report text is truncated to fit.
+const MaxPDUSize = 1 << 16
+
+const headerLen = 8
+
+// PDU is one protocol data unit.
+type PDU interface {
+	// Type returns the PDU type code.
+	Type() byte
+	// write serializes the PDU (with header) for the given protocol version.
+	write(w io.Writer, version byte) error
+}
+
+// SerialNotify tells routers new data is available at Serial.
+type SerialNotify struct {
+	SessionID uint16
+	Serial    uint32
+}
+
+// SerialQuery asks the cache for changes since Serial.
+type SerialQuery struct {
+	SessionID uint16
+	Serial    uint32
+}
+
+// ResetQuery asks the cache for the complete data set.
+type ResetQuery struct{}
+
+// CacheResponse opens a sequence of prefix PDUs.
+type CacheResponse struct {
+	SessionID uint16
+}
+
+// Prefix announces or withdraws one VRP. It serializes as an IPv4 Prefix or
+// IPv6 Prefix PDU depending on the VRP's family.
+type Prefix struct {
+	Flags byte
+	VRP   rpki.VRP
+}
+
+// EndOfData closes an update sequence. The Refresh/Retry/Expire timers exist
+// only in version 1 and are ignored when marshalling version 0.
+type EndOfData struct {
+	SessionID uint16
+	Serial    uint32
+	Refresh   uint32
+	Retry     uint32
+	Expire    uint32
+}
+
+// CacheReset tells the router its serial is unusable: fall back to a Reset
+// Query.
+type CacheReset struct{}
+
+// RouterKey is the version-1 BGPsec router key PDU. The repository does not
+// evaluate BGPsec (the paper's setting is "RPKI deployed, BGPsec not"), so
+// the fields are carried opaquely for protocol completeness.
+type RouterKey struct {
+	Flags byte
+	SKI   [20]byte
+	AS    rpki.ASN
+	SPKI  []byte
+}
+
+// ErrorReport carries an error code, the PDU that caused it, and diagnostic
+// text.
+type ErrorReport struct {
+	Code       uint16
+	CausingPDU []byte
+	Text       string
+}
+
+// Error implements the error interface so an ErrorReport can be returned
+// directly from client calls.
+func (e *ErrorReport) Error() string {
+	return fmt.Sprintf("rtr: error report code %d: %s", e.Code, e.Text)
+}
+
+func (*SerialNotify) Type() byte  { return TypeSerialNotify }
+func (*SerialQuery) Type() byte   { return TypeSerialQuery }
+func (*ResetQuery) Type() byte    { return TypeResetQuery }
+func (*CacheResponse) Type() byte { return TypeCacheResponse }
+func (p *Prefix) Type() byte {
+	if p.VRP.Prefix.Family() == prefix.IPv6 {
+		return TypeIPv6Prefix
+	}
+	return TypeIPv4Prefix
+}
+func (*EndOfData) Type() byte   { return TypeEndOfData }
+func (*CacheReset) Type() byte  { return TypeCacheReset }
+func (*RouterKey) Type() byte   { return TypeRouterKey }
+func (*ErrorReport) Type() byte { return TypeErrorReport }
+
+func writeHeader(buf []byte, version, pduType byte, sessionOrZero uint16, length uint32) {
+	buf[0] = version
+	buf[1] = pduType
+	binary.BigEndian.PutUint16(buf[2:], sessionOrZero)
+	binary.BigEndian.PutUint32(buf[4:], length)
+}
+
+func (p *SerialNotify) write(w io.Writer, version byte) error {
+	var buf [12]byte
+	writeHeader(buf[:], version, TypeSerialNotify, p.SessionID, 12)
+	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *SerialQuery) write(w io.Writer, version byte) error {
+	var buf [12]byte
+	writeHeader(buf[:], version, TypeSerialQuery, p.SessionID, 12)
+	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *ResetQuery) write(w io.Writer, version byte) error {
+	var buf [8]byte
+	writeHeader(buf[:], version, TypeResetQuery, 0, 8)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *CacheResponse) write(w io.Writer, version byte) error {
+	var buf [8]byte
+	writeHeader(buf[:], version, TypeCacheResponse, p.SessionID, 8)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *Prefix) write(w io.Writer, version byte) error {
+	v := p.VRP
+	hi, lo := v.Prefix.Bits()
+	if v.Prefix.Family() == prefix.IPv4 {
+		var buf [20]byte
+		writeHeader(buf[:], version, TypeIPv4Prefix, 0, 20)
+		buf[8] = p.Flags
+		buf[9] = v.Prefix.Len()
+		buf[10] = v.MaxLength
+		binary.BigEndian.PutUint32(buf[12:], uint32(hi>>32))
+		binary.BigEndian.PutUint32(buf[16:], uint32(v.AS))
+		_, err := w.Write(buf[:])
+		return err
+	}
+	var buf [32]byte
+	writeHeader(buf[:], version, TypeIPv6Prefix, 0, 32)
+	buf[8] = p.Flags
+	buf[9] = v.Prefix.Len()
+	buf[10] = v.MaxLength
+	binary.BigEndian.PutUint64(buf[12:], hi)
+	binary.BigEndian.PutUint64(buf[20:], lo)
+	binary.BigEndian.PutUint32(buf[28:], uint32(v.AS))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *EndOfData) write(w io.Writer, version byte) error {
+	if version == Version0 {
+		var buf [12]byte
+		writeHeader(buf[:], version, TypeEndOfData, p.SessionID, 12)
+		binary.BigEndian.PutUint32(buf[8:], p.Serial)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	var buf [24]byte
+	writeHeader(buf[:], version, TypeEndOfData, p.SessionID, 24)
+	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	binary.BigEndian.PutUint32(buf[12:], p.Refresh)
+	binary.BigEndian.PutUint32(buf[16:], p.Retry)
+	binary.BigEndian.PutUint32(buf[20:], p.Expire)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *CacheReset) write(w io.Writer, version byte) error {
+	var buf [8]byte
+	writeHeader(buf[:], version, TypeCacheReset, 0, 8)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (p *RouterKey) write(w io.Writer, version byte) error {
+	if version == Version0 {
+		return errors.New("rtr: Router Key PDU requires version 1")
+	}
+	length := uint32(headerLen + 20 + 4 + len(p.SPKI))
+	buf := make([]byte, length)
+	writeHeader(buf, version, TypeRouterKey, uint16(p.Flags)<<8, length)
+	copy(buf[8:], p.SKI[:])
+	binary.BigEndian.PutUint32(buf[28:], uint32(p.AS))
+	copy(buf[32:], p.SPKI)
+	_, err := w.Write(buf)
+	return err
+}
+
+func (p *ErrorReport) write(w io.Writer, version byte) error {
+	// Both variable fields are truncated so the whole PDU fits MaxPDUSize.
+	const fieldCap = (MaxPDUSize - headerLen - 8) / 2
+	text := []byte(p.Text)
+	if len(text) > fieldCap {
+		text = text[:fieldCap]
+	}
+	causing := p.CausingPDU
+	if len(causing) > fieldCap {
+		causing = causing[:fieldCap]
+	}
+	length := uint32(headerLen + 4 + len(causing) + 4 + len(text))
+	buf := make([]byte, length)
+	writeHeader(buf, version, TypeErrorReport, p.Code, length)
+	off := headerLen
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(causing)))
+	off += 4
+	copy(buf[off:], causing)
+	off += len(causing)
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(text)))
+	off += 4
+	copy(buf[off:], text)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WritePDU serializes one PDU for the given protocol version.
+func WritePDU(w io.Writer, version byte, p PDU) error {
+	if version != Version0 && version != Version1 {
+		return fmt.Errorf("rtr: unknown protocol version %d", version)
+	}
+	return p.write(w, version)
+}
+
+// ProtocolError describes a malformed or unexpected PDU and maps onto an
+// Error Report code.
+type ProtocolError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ProtocolError) Error() string { return "rtr: " + e.Msg }
+
+func protoErr(code uint16, format string, args ...interface{}) error {
+	return &ProtocolError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ReadPDU reads and parses one PDU. It returns the PDU, its version byte,
+// and an error. Malformed input yields a *ProtocolError whose Code is
+// suitable for an Error Report.
+func ReadPDU(r io.Reader) (PDU, byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	version := hdr[0]
+	pduType := hdr[1]
+	sess := binary.BigEndian.Uint16(hdr[2:])
+	length := binary.BigEndian.Uint32(hdr[4:])
+	if version != Version0 && version != Version1 {
+		return nil, version, protoErr(ErrUnsupportedVersion, "unsupported version %d", version)
+	}
+	if length < headerLen || length > MaxPDUSize {
+		return nil, version, protoErr(ErrCorruptData, "bad PDU length %d", length)
+	}
+	body := make([]byte, length-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, version, err
+	}
+	need := func(n int) error {
+		if len(body) != n {
+			return protoErr(ErrCorruptData, "type %d PDU body length %d, want %d", pduType, len(body), n)
+		}
+		return nil
+	}
+	switch pduType {
+	case TypeSerialNotify:
+		if err := need(4); err != nil {
+			return nil, version, err
+		}
+		return &SerialNotify{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+	case TypeSerialQuery:
+		if err := need(4); err != nil {
+			return nil, version, err
+		}
+		return &SerialQuery{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+	case TypeResetQuery:
+		if err := need(0); err != nil {
+			return nil, version, err
+		}
+		return &ResetQuery{}, version, nil
+	case TypeCacheResponse:
+		if err := need(0); err != nil {
+			return nil, version, err
+		}
+		return &CacheResponse{SessionID: sess}, version, nil
+	case TypeIPv4Prefix:
+		if err := need(12); err != nil {
+			return nil, version, err
+		}
+		return parsePrefixPDU(body, prefix.IPv4, version)
+	case TypeIPv6Prefix:
+		if err := need(24); err != nil {
+			return nil, version, err
+		}
+		return parsePrefixPDU(body, prefix.IPv6, version)
+	case TypeEndOfData:
+		if version == Version0 {
+			if err := need(4); err != nil {
+				return nil, version, err
+			}
+			return &EndOfData{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+		}
+		if err := need(16); err != nil {
+			return nil, version, err
+		}
+		return &EndOfData{
+			SessionID: sess,
+			Serial:    binary.BigEndian.Uint32(body),
+			Refresh:   binary.BigEndian.Uint32(body[4:]),
+			Retry:     binary.BigEndian.Uint32(body[8:]),
+			Expire:    binary.BigEndian.Uint32(body[12:]),
+		}, version, nil
+	case TypeCacheReset:
+		if err := need(0); err != nil {
+			return nil, version, err
+		}
+		return &CacheReset{}, version, nil
+	case TypeRouterKey:
+		if version == Version0 {
+			return nil, version, protoErr(ErrUnsupportedPDUType, "Router Key PDU in version 0")
+		}
+		if len(body) < 24 {
+			return nil, version, protoErr(ErrCorruptData, "short Router Key PDU")
+		}
+		rk := &RouterKey{Flags: byte(sess >> 8), AS: rpki.ASN(binary.BigEndian.Uint32(body[20:24]))}
+		copy(rk.SKI[:], body[:20])
+		rk.SPKI = append([]byte(nil), body[24:]...)
+		return rk, version, nil
+	case TypeErrorReport:
+		return parseErrorReport(body, sess, version)
+	default:
+		return nil, version, protoErr(ErrUnsupportedPDUType, "unknown PDU type %d", pduType)
+	}
+}
+
+func parsePrefixPDU(body []byte, fam prefix.Family, version byte) (PDU, byte, error) {
+	flags, plen, maxLen := body[0], body[1], body[2]
+	var hi, lo uint64
+	var as rpki.ASN
+	if fam == prefix.IPv4 {
+		hi = uint64(binary.BigEndian.Uint32(body[4:])) << 32
+		as = rpki.ASN(binary.BigEndian.Uint32(body[8:]))
+	} else {
+		hi = binary.BigEndian.Uint64(body[4:])
+		lo = binary.BigEndian.Uint64(body[12:])
+		as = rpki.ASN(binary.BigEndian.Uint32(body[20:]))
+	}
+	p, err := prefix.Make(fam, hi, lo, plen)
+	if err != nil {
+		return nil, version, protoErr(ErrCorruptData, "bad prefix in PDU: %v", err)
+	}
+	v := rpki.VRP{Prefix: p, MaxLength: maxLen, AS: as}
+	if err := v.Validate(); err != nil {
+		return nil, version, protoErr(ErrCorruptData, "bad VRP in PDU: %v", err)
+	}
+	return &Prefix{Flags: flags & FlagAnnounce, VRP: v}, version, nil
+}
+
+func parseErrorReport(body []byte, code uint16, version byte) (PDU, byte, error) {
+	if len(body) < 8 {
+		return nil, version, protoErr(ErrCorruptData, "short Error Report")
+	}
+	cl := binary.BigEndian.Uint32(body)
+	if uint64(4+cl+4) > uint64(len(body)) {
+		return nil, version, protoErr(ErrCorruptData, "Error Report causing-PDU length overflow")
+	}
+	causing := append([]byte(nil), body[4:4+cl]...)
+	rest := body[4+cl:]
+	tl := binary.BigEndian.Uint32(rest)
+	if uint64(4+tl) > uint64(len(rest)) {
+		return nil, version, protoErr(ErrCorruptData, "Error Report text length overflow")
+	}
+	return &ErrorReport{Code: code, CausingPDU: causing, Text: string(rest[4 : 4+tl])}, version, nil
+}

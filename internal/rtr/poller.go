@@ -1,0 +1,142 @@
+package rtr
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Poller drives a Client through the RFC 8210 timer state machine: sync,
+// then wait for Serial Notify or the Refresh interval (whichever first),
+// falling back to the Retry interval on errors, and declaring the data
+// expired — unusable for validation — once the Expire interval passes
+// without a successful sync.
+//
+// The zero timers are filled from the cache's End of Data PDU after the
+// first sync, or from RFC 8210's suggested defaults.
+type Poller struct {
+	Client *Client
+	// OnUpdate, when set, is invoked after every successful sync with the
+	// new serial. Called on the poller goroutine.
+	OnUpdate func(serial uint32)
+	// Refresh/Retry are fallbacks until the cache advertises its own.
+	Refresh time.Duration
+	Retry   time.Duration
+	Expire  time.Duration
+
+	mu       sync.Mutex
+	lastSync time.Time
+	healthy  bool
+	stopped  bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// NewPoller wraps a connected client with RFC 8210 default timers.
+func NewPoller(c *Client) *Poller {
+	return &Poller{
+		Client:  c,
+		Refresh: 3600 * time.Second,
+		Retry:   600 * time.Second,
+		Expire:  7200 * time.Second,
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// Healthy reports whether the poller has synced within the Expire window;
+// when false, RFC 8210 §6 says the router must stop using the data.
+func (p *Poller) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy && time.Since(p.lastSync) < p.Expire
+}
+
+// LastSync returns the time of the last successful synchronization.
+func (p *Poller) LastSync() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSync
+}
+
+// Run drives the state machine until Stop is called or an unrecoverable
+// connection error occurs; it returns the terminating error (nil on Stop).
+// Run performs the initial sync itself.
+func (p *Poller) Run() error {
+	defer close(p.doneCh)
+	if err := p.syncOnce(); err != nil {
+		if p.isStopped() {
+			return nil
+		}
+		return err
+	}
+	for {
+		// Wait for a notify in a helper goroutine so Stop can interrupt.
+		notifyCh := make(chan error, 1)
+		go func() {
+			_, err := p.Client.WaitNotify()
+			notifyCh <- err
+		}()
+		select {
+		case <-p.stopCh:
+			p.Client.Close() // unblocks the reader
+			<-notifyCh
+			return nil
+		case err := <-notifyCh:
+			if err != nil {
+				if p.isStopped() {
+					return nil
+				}
+				return err
+			}
+		}
+		if err := p.syncOnce(); err != nil {
+			if p.isStopped() {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func (p *Poller) syncOnce() error {
+	serial, err := p.Client.Sync()
+	if err != nil {
+		p.mu.Lock()
+		p.healthy = false
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Lock()
+	p.lastSync = time.Now()
+	p.healthy = true
+	p.mu.Unlock()
+	if p.OnUpdate != nil {
+		p.OnUpdate(serial)
+	}
+	return nil
+}
+
+// Stop terminates Run and waits for it to return.
+func (p *Poller) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		<-p.doneCh
+		return
+	}
+	p.stopped = true
+	close(p.stopCh)
+	p.mu.Unlock()
+	<-p.doneCh
+}
+
+func (p *Poller) isStopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}
+
+// ErrExpired is reported by validation-side callers when Healthy() is false
+// and the data must not be used.
+var ErrExpired = errors.New("rtr: cache data expired")

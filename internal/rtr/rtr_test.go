@@ -1,0 +1,310 @@
+package rtr
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rpki"
+)
+
+func testVRPs() *rpki.Set {
+	return rpki.NewSet([]rpki.VRP{
+		{Prefix: mp("168.122.0.0/16"), MaxLength: 16, AS: 111},
+		{Prefix: mp("168.122.225.0/24"), MaxLength: 24, AS: 111},
+		{Prefix: mp("87.254.32.0/19"), MaxLength: 20, AS: 31283},
+		{Prefix: mp("2001:db8::/32"), MaxLength: 48, AS: 64496},
+	})
+}
+
+// startServer runs a Server on a loopback listener and returns its address
+// and a shutdown func.
+func startServer(t *testing.T, s *Server) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(l)
+	}()
+	return l.Addr().String(), func() {
+		s.Close()
+		<-done
+	}
+}
+
+func TestFullSync(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Set().Equal(set) {
+		t.Fatalf("client set %v != served %v", c.Set().VRPs(), set.VRPs())
+	}
+	if c.Serial() != srv.Serial() || c.SessionID() != srv.SessionID() {
+		t.Errorf("serial/session mismatch: %d/%d vs %d/%d",
+			c.Serial(), c.SessionID(), srv.Serial(), srv.SessionID())
+	}
+}
+
+func TestFullSyncVersion0(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Version = Version0
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != set.Len() {
+		t.Fatalf("v0 sync got %d VRPs, want %d", c.Len(), set.Len())
+	}
+}
+
+func TestIncrementalSync(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Sync(); err != nil { // no state: full reset
+		t.Fatal(err)
+	}
+	before := c.Serial()
+
+	// Mutate the served set: drop one VRP, add another.
+	next := rpki.NewSet(append(set.VRPs()[1:],
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
+	srv.UpdateSet(next)
+
+	// The client receives a Serial Notify...
+	serial, err := c.WaitNotify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != before+1 {
+		t.Errorf("notify serial = %d, want %d", serial, before+1)
+	}
+	// ...and an incremental Sync converges.
+	got, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != serial {
+		t.Errorf("synced to %d, want %d", got, serial)
+	}
+	if !c.Set().Equal(next) {
+		t.Fatalf("after delta: %v, want %v", c.Set().VRPs(), next.VRPs())
+	}
+}
+
+func TestSyncAfterManyUpdates(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Several updates between syncs: the delta chain must compose.
+	cur := set
+	for i := 0; i < 5; i++ {
+		cur = rpki.NewSet(append(cur.VRPs(),
+			rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(8 + i), AS: rpki.ASN(100 + i)}))
+		srv.UpdateSet(cur)
+	}
+	// Drain the notifies (one per update).
+	for i := 0; i < 5; i++ {
+		if _, err := c.WaitNotify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Set().Equal(cur) {
+		t.Fatalf("after chain: %d VRPs, want %d", c.Len(), cur.Len())
+	}
+}
+
+func TestCacheResetFallback(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	srv.KeepDeltas = 1
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Expire the delta the client would need: many updates with KeepDeltas=1.
+	cur := set
+	for i := 0; i < 4; i++ {
+		cur = rpki.NewSet(append(cur.VRPs(),
+			rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(8 + i), AS: rpki.ASN(200 + i)}))
+		srv.UpdateSet(cur)
+		if _, err := c.WaitNotify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sync must fall back to a full reset transparently and still converge.
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Set().Equal(cur) {
+		t.Fatalf("after fallback: %d VRPs, want %d", c.Len(), cur.Len())
+	}
+}
+
+func TestServerRejectsUnexpectedPDU(t *testing.T) {
+	srv := NewServer(testVRPs())
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A router must not send Cache Response; the server answers with an
+	// Error Report and closes.
+	if err := WritePDU(nc, Version1, &CacheResponse{SessionID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pdu, _, err := ReadPDU(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := pdu.(*ErrorReport)
+	if !ok || er.Code != ErrInvalidRequest {
+		t.Fatalf("got %T %+v, want invalid-request ErrorReport", pdu, pdu)
+	}
+}
+
+func TestServerReportsCorruptPDU(t *testing.T) {
+	srv := NewServer(testVRPs())
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte{1, 2, 0, 0, 0, 0, 0, 3}); err != nil { // bad length
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pdu, _, err := ReadPDU(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er, ok := pdu.(*ErrorReport); !ok || er.Code != ErrCorruptData {
+		t.Fatalf("got %T, want corrupt-data ErrorReport", pdu)
+	}
+}
+
+func TestDiffSets(t *testing.T) {
+	a := rpki.NewSet([]rpki.VRP{
+		{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 1},
+		{Prefix: mp("11.0.0.0/8"), MaxLength: 8, AS: 1},
+	})
+	b := rpki.NewSet([]rpki.VRP{
+		{Prefix: mp("11.0.0.0/8"), MaxLength: 8, AS: 1},
+		{Prefix: mp("12.0.0.0/8"), MaxLength: 8, AS: 1},
+	})
+	d := diffSets(a, b)
+	if len(d) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	var announces, withdraws int
+	for _, p := range d {
+		if p.Flags&FlagAnnounce != 0 {
+			announces++
+			if p.VRP.Prefix != mp("12.0.0.0/8") {
+				t.Errorf("announced %v", p.VRP)
+			}
+		} else {
+			withdraws++
+			if p.VRP.Prefix != mp("10.0.0.0/8") {
+				t.Errorf("withdrew %v", p.VRP)
+			}
+		}
+	}
+	if announces != 1 || withdraws != 1 {
+		t.Errorf("announces=%d withdraws=%d", announces, withdraws)
+	}
+	if len(diffSets(a, a)) != 0 {
+		t.Error("self-diff not empty")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	const n = 8
+	clients := make([]*Client, n)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	next := rpki.NewSet(append(set.VRPs(),
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
+	srv.UpdateSet(next)
+	for i, c := range clients {
+		if _, err := c.WaitNotify(); err != nil {
+			t.Fatalf("client %d notify: %v", i, err)
+		}
+		if _, err := c.Sync(); err != nil {
+			t.Fatalf("client %d sync: %v", i, err)
+		}
+		if !c.Set().Equal(next) {
+			t.Fatalf("client %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package rtr
+
+// Serial-number arithmetic (RFC 1982, referenced by RFC 6810 §5.9): RTR
+// serials wrap at 2^32, so ordering must be computed modulo the ring. The
+// server's UpdateSet increments monotonically, but a long-lived cache will
+// eventually wrap, and clients comparing "is the notify newer than my
+// state?" must not break when it does.
+
+// SerialLess reports whether serial a precedes b on the RFC 1982 ring.
+// Antipodal pairs (distance exactly 2^31) are incomparable; SerialLess
+// returns false for both orders, as the RFC prescribes.
+func SerialLess(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	d := b - a // wrapping subtraction
+	return d != 0 && d < 1<<31
+}
+
+// SerialNewer reports whether candidate is strictly newer than current,
+// treating an antipodal candidate as NOT newer (forcing a reset instead of
+// guessing).
+func SerialNewer(candidate, current uint32) bool {
+	return SerialLess(current, candidate)
+}
+
+// SerialAdvance returns the serial n steps after s on the ring.
+func SerialAdvance(s uint32, n uint32) uint32 { return s + n }

@@ -1,0 +1,134 @@
+package rtr
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rpki"
+)
+
+func TestSerialLess(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{0xffffffff, 0, true},          // wrap
+		{0, 0xffffffff, false},         // wrap, reversed
+		{0xfffffff0, 5, true},          // across the wrap
+		{0, 1 << 31, false},            // antipodal: incomparable
+		{1 << 31, 0, false},            // antipodal, reversed
+		{100, 100 + (1<<31 - 1), true}, // just inside the window
+	}
+	for _, c := range cases {
+		if got := SerialLess(c.a, c.b); got != c.want {
+			t.Errorf("SerialLess(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSerialProperties(t *testing.T) {
+	// Irreflexive and antisymmetric (except antipodes, where both false).
+	f := func(a, b uint32) bool {
+		l1, l2 := SerialLess(a, b), SerialLess(b, a)
+		if a == b {
+			return !l1 && !l2
+		}
+		if b-a == 1<<31 {
+			return !l1 && !l2
+		}
+		return l1 != l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Advancing by a small n always moves forward.
+	g := func(s uint32, n8 uint8) bool {
+		n := uint32(n8)
+		if n == 0 {
+			return SerialAdvance(s, 0) == s
+		}
+		return SerialNewer(SerialAdvance(s, n), s)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollerLifecycle(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates atomic.Int32
+	p := NewPoller(c)
+	p.OnUpdate = func(uint32) { updates.Add(1) }
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Run() }()
+
+	// Initial sync happens inside Run.
+	waitFor(t, func() bool { return updates.Load() >= 1 })
+	if !p.Healthy() {
+		t.Fatal("poller unhealthy after initial sync")
+	}
+	if p.LastSync().IsZero() {
+		t.Fatal("LastSync not recorded")
+	}
+
+	// A server update triggers notify -> sync -> OnUpdate.
+	next := rpki.NewSet(append(set.VRPs(),
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
+	srv.UpdateSet(next)
+	waitFor(t, func() bool { return updates.Load() >= 2 })
+	if !c.Set().Equal(next) {
+		t.Fatal("poller did not converge")
+	}
+
+	p.Stop()
+	if err := <-errCh; err != nil {
+		t.Fatalf("Run returned %v after Stop", err)
+	}
+	// Stop is idempotent.
+	p.Stop()
+}
+
+func TestPollerExpiry(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(c)
+	p.Expire = 10 * time.Millisecond
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Run() }()
+	waitFor(t, func() bool { return !p.LastSync().IsZero() })
+	// No further syncs: health must decay past the Expire window.
+	waitFor(t, func() bool { return !p.Healthy() })
+	p.Stop()
+	<-errCh
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

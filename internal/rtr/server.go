@@ -1,0 +1,307 @@
+package rtr
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/rpki"
+)
+
+// Server is the cache side of the protocol: the "trusted local cache" of
+// Figure 1. It serves the current VRP set to any number of router clients,
+// assigns serial numbers to updates, answers Serial Queries with incremental
+// deltas when it can, and pushes Serial Notify PDUs when the data changes.
+type Server struct {
+	// Timers advertised in version-1 End of Data PDUs (seconds). Zero values
+	// are replaced by the RFC 8210 suggested defaults.
+	Refresh, Retry, Expire uint32
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...interface{})
+	// KeepDeltas bounds how many past serials remain answerable by
+	// incremental updates (older Serial Queries get Cache Reset). Default 16.
+	KeepDeltas int
+
+	mu        sync.Mutex
+	sessionID uint16
+	serial    uint32
+	current   *rpki.Set
+	deltas    map[uint32][]Prefix // delta that moved serial s-1 -> s
+	conns     map[*conn]struct{}
+	listener  net.Listener
+	closed    bool
+}
+
+type conn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes writes (handler vs. notify broadcast)
+	// version is fixed by the first PDU received from the router.
+	version byte
+}
+
+func (c *conn) send(version byte, pdus ...PDU) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pdus {
+		if err := WritePDU(c.c, version, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewServer creates a cache serving the given initial VRP set.
+func NewServer(initial *rpki.Set) *Server {
+	if initial == nil {
+		initial = rpki.NewSet(nil)
+	}
+	return &Server{
+		Refresh:    3600,
+		Retry:      600,
+		Expire:     7200,
+		KeepDeltas: 16,
+		sessionID:  0x5eed,
+		serial:     1,
+		current:    initial,
+		deltas:     make(map[uint32][]Prefix),
+		conns:      make(map[*conn]struct{}),
+	}
+}
+
+// Serial returns the current serial number.
+func (s *Server) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// SessionID returns the cache session identifier.
+func (s *Server) SessionID() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionID
+}
+
+// UpdateSet replaces the served VRP set, computes the announce/withdraw
+// delta, bumps the serial, and notifies connected routers.
+func (s *Server) UpdateSet(next *rpki.Set) {
+	s.mu.Lock()
+	delta := diffSets(s.current, next)
+	s.serial++
+	s.deltas[s.serial] = delta
+	delete(s.deltas, s.serial-uint32(s.KeepDeltas)-1)
+	s.current = next
+	serial, session := s.serial, s.sessionID
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.mu.Lock()
+		v := c.version
+		c.mu.Unlock()
+		if err := c.send(v, &SerialNotify{SessionID: session, Serial: serial}); err != nil {
+			s.logf("rtr server: notify: %v", err)
+		}
+	}
+}
+
+// diffSets returns the prefix PDUs that transform old into next: withdrawals
+// for tuples only in old, announcements for tuples only in next.
+func diffSets(old, next *rpki.Set) []Prefix {
+	var out []Prefix
+	a, b := old.VRPs(), next.VRPs()
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i >= len(a):
+			out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
+			j++
+		case j >= len(b):
+			out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
+			i++
+		default:
+			switch c := a[i].Compare(b[j]); {
+			case c == 0:
+				i++
+				j++
+			case c < 0:
+				out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
+				i++
+			default:
+				out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
+				j++
+			}
+		}
+	}
+	return out
+}
+
+// Serve accepts router connections on l until Close is called. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rtr: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(nc)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops the listener and disconnects all routers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.c.Close()
+	}
+	s.conns = make(map[*conn]struct{})
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// handle runs one router session.
+func (s *Server) handle(nc net.Conn) {
+	c := &conn{c: nc, version: Version1}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+
+	for {
+		pdu, version, err := ReadPDU(nc)
+		if err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				_ = c.send(version, &ErrorReport{Code: pe.Code, Text: pe.Msg})
+			}
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				s.logf("rtr server: read: %v", err)
+			}
+			return
+		}
+		c.mu.Lock()
+		c.version = version
+		c.mu.Unlock()
+		switch q := pdu.(type) {
+		case *ResetQuery:
+			if err := s.sendFull(c, version); err != nil {
+				s.logf("rtr server: reset response: %v", err)
+				return
+			}
+		case *SerialQuery:
+			if err := s.answerSerialQuery(c, version, q); err != nil {
+				s.logf("rtr server: serial response: %v", err)
+				return
+			}
+		case *ErrorReport:
+			s.logf("rtr server: router reported error %d: %s", q.Code, q.Text)
+			return
+		default:
+			_ = c.send(version, &ErrorReport{
+				Code: ErrInvalidRequest,
+				Text: fmt.Sprintf("unexpected PDU type %d from router", pdu.Type()),
+			})
+			return
+		}
+	}
+}
+
+// sendFull answers a Reset Query: Cache Response, every VRP, End of Data.
+func (s *Server) sendFull(c *conn, version byte) error {
+	s.mu.Lock()
+	session, serial := s.sessionID, s.serial
+	vrps := s.current.VRPs()
+	s.mu.Unlock()
+	pdus := make([]PDU, 0, len(vrps)+2)
+	pdus = append(pdus, &CacheResponse{SessionID: session})
+	for i := range vrps {
+		pdus = append(pdus, &Prefix{Flags: FlagAnnounce, VRP: vrps[i]})
+	}
+	pdus = append(pdus, s.endOfData(session, serial))
+	return c.send(version, pdus...)
+}
+
+// answerSerialQuery sends an incremental update when the session matches and
+// the delta chain from the router's serial is retained; otherwise Cache
+// Reset.
+func (s *Server) answerSerialQuery(c *conn, version byte, q *SerialQuery) error {
+	s.mu.Lock()
+	session, serial := s.sessionID, s.serial
+	var chain []Prefix
+	ok := q.SessionID == session
+	if ok && q.Serial != serial {
+		for from := q.Serial + 1; ; from++ {
+			d, have := s.deltas[from]
+			if !have {
+				ok = false
+				break
+			}
+			chain = append(chain, d...)
+			if from == serial {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return c.send(version, &CacheReset{})
+	}
+	pdus := make([]PDU, 0, len(chain)+2)
+	pdus = append(pdus, &CacheResponse{SessionID: session})
+	for i := range chain {
+		pdus = append(pdus, &chain[i])
+	}
+	pdus = append(pdus, s.endOfData(session, serial))
+	return c.send(version, pdus...)
+}
+
+func (s *Server) endOfData(session uint16, serial uint32) *EndOfData {
+	return &EndOfData{
+		SessionID: session,
+		Serial:    serial,
+		Refresh:   s.Refresh,
+		Retry:     s.Retry,
+		Expire:    s.Expire,
+	}
+}

@@ -1,0 +1,394 @@
+// Package synth generates the synthetic Internet-scale datasets that stand
+// in for the paper's RouteViews BGP tables and RPKI repository snapshots
+// (weekly, 4/13/2017–6/1/2017). Public data for those dates is unavailable
+// offline, so the generator reproduces the *joint structure* of the two
+// datasets — which fully determines every quantity the evaluation measures —
+// rather than the concrete prefixes.
+//
+// # Calibration
+//
+// The generator composes "blocks", each owned by one AS and carved from a
+// disjoint base prefix. Block kinds, with their contribution to the measured
+// quantities:
+//
+//	single       one announced route; no ROA.
+//	sibC         announced parent + both children (1-level full
+//	             de-aggregation): trie compression merges 3→1 (saves 2);
+//	             the max-permissive lower bound also saves 2.
+//	sibD         2-level full de-aggregation (7 routes): saves 6 both ways.
+//	partial      announced parent + one child: compression saves 0, the
+//	             lower bound saves 1 (this gap is the paper's 730,008 vs
+//	             729,371).
+//	roaSingle    announced route with an exact (no-maxLength) ROA tuple.
+//	roaSibC      sibC where all three routes also have ROA tuples: the
+//	             status-quo PDU list compresses by 2 here, and still does
+//	             after minimalization.
+//	roaStale     ROA tuples for a parent and both children, but only the
+//	             parent announced: status quo compresses by 2, but
+//	             minimalization drops the children, destroying the saving —
+//	             this is why the paper's minimal sets compress by only 6.5%
+//	             while the status quo compresses by 15.9%.
+//	roaMinML     a minimal maxLength-using ROA (p/l-(l+1)) whose full
+//	             expansion (p + both children) is announced: not vulnerable;
+//	             minimalization expands 1→3 tuples which then re-compress.
+//	roaVulnML    a NON-minimal maxLength-using ROA (p/l-(l+3)) with only a
+//	             few scattered /l+3 subprefixes announced (and p itself
+//	             unannounced): vulnerable to forged-origin subprefix hijack.
+//
+// Solving the paper's published totals for the block counts gives the
+// defaults in Params6_1 (see DESIGN.md §2 for the full derivation):
+//
+//	tuples          = roaSingle + 3·roaSibC + 3·roaStale + roaMinML + roaVulnML        = 39,949
+//	statusCompressed= tuples − 2·(roaSibC + roaStale)                                  = 33,615  (−15.86%)
+//	minimalPairs    = roaSingle + 3·roaSibC + roaStale + 3·roaMinML + extras           = 52,745
+//	minimalComp     = minimalPairs − 2·(roaSibC + roaMinML)                            = 49,307  (−6.5%)
+//	routes          = everything announced                                             = 776,945
+//	fullComp        = routes − 2·(sibC + roaSibC + roaMinML) − 6·sibD                  = 730,007
+//	lowerBound      = routes − SubprefixRoutes                                         = 729,370
+//
+// matching Table 1 within ±1 PDU per row.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// Params controls the generator. All counts refer to block counts, not
+// route/tuple counts (see the package comment for the mapping).
+type Params struct {
+	Seed uint64 // address-layout permutation seed
+
+	// BGP-only blocks.
+	Singles   int // plain announced routes, IPv4
+	SinglesV6 int // plain announced routes, IPv6
+	SibC      int // 1-level full de-aggregation families
+	SibD      int // 2-level full de-aggregation families
+	Partial   int // parent + single child families
+
+	// RPKI-covered blocks.
+	ROASingles  int // exact-match no-maxLength tuples
+	ROASibC     int // fully announced compressible tuple families
+	ROAStale    int // tuple families with unannounced children
+	ROAMinML    int // minimal maxLength users (not vulnerable)
+	ROAVulnML   int // non-minimal maxLength users (vulnerable)
+	VulnExtras  int // announced scattered subprefixes per vulnerable tuple
+	VulnBonus   int // number of vulnerable tuples that get one extra route
+	ROAOriginAS int // number of distinct RPKI origin ASes (≈ ROA count)
+}
+
+// Params6_1 returns the calibration for the paper's 6/1/2017 dataset.
+func Params6_1() Params {
+	return Params{
+		Seed:        0x5eed_2017_0601,
+		Singles:     623676,
+		SinglesV6:   40000,
+		SibC:        12750,
+		SibD:        3000,
+		Partial:     637,
+		ROASingles:  25818,
+		ROASibC:     978,
+		ROAStale:    2189,
+		ROAMinML:    741,
+		ROAVulnML:   3889,
+		VulnExtras:  5,
+		VulnBonus:   136,
+		ROAOriginAS: 7499,
+	}
+}
+
+// Scale returns a copy of p with every block count multiplied by f (>0),
+// used to produce the weekly growth of Figure 3. Per-tuple knobs
+// (VulnExtras) and the seed are preserved; the seed is re-derived from the
+// factor so snapshots differ in layout as well as size.
+func (p Params) Scale(f float64) Params {
+	if f == 1 {
+		return p
+	}
+	s := p
+	mul := func(n int) int {
+		v := int(float64(n)*f + 0.5)
+		if n > 0 && v < 1 {
+			v = 1
+		}
+		return v
+	}
+	s.Singles = mul(p.Singles)
+	s.SinglesV6 = mul(p.SinglesV6)
+	s.SibC = mul(p.SibC)
+	s.SibD = mul(p.SibD)
+	s.Partial = mul(p.Partial)
+	s.ROASingles = mul(p.ROASingles)
+	s.ROASibC = mul(p.ROASibC)
+	s.ROAStale = mul(p.ROAStale)
+	s.ROAMinML = mul(p.ROAMinML)
+	s.ROAVulnML = mul(p.ROAVulnML)
+	s.VulnBonus = mul(p.VulnBonus)
+	s.ROAOriginAS = mul(p.ROAOriginAS)
+	s.Seed = p.Seed ^ uint64(f*1e6)
+	return s
+}
+
+// Dates6_1 returns the paper's eight weekly snapshot dates,
+// 4/13/2017–6/1/2017.
+func Dates6_1() []time.Time {
+	start := time.Date(2017, 4, 13, 0, 0, 0, 0, time.UTC)
+	out := make([]time.Time, 8)
+	for i := range out {
+		out[i] = start.AddDate(0, 0, 7*i)
+	}
+	return out
+}
+
+// SnapshotParams returns the calibration for one of the Figure 3 dates:
+// the table grows ≈0.45%/week toward the 6/1 targets.
+func SnapshotParams(date time.Time) Params {
+	dates := Dates6_1()
+	weeks := 0
+	for i, d := range dates {
+		if !date.Before(d) {
+			weeks = i
+		}
+	}
+	f := 1.0 - 0.0045*float64(len(dates)-1-weeks)
+	return Params6_1().Scale(f)
+}
+
+// Dataset is one generated snapshot.
+type Dataset struct {
+	Params Params
+	Table  *bgp.Table // the BGP "RouteViews" table
+	ROAs   []rpki.ROA // one ROA per RPKI origin AS
+	VRPs   *rpki.Set  // the status-quo PDU list (expansion of ROAs)
+}
+
+// Generate builds a deterministic snapshot from the parameters.
+func Generate(p Params) *Dataset {
+	g := &generator{
+		p:    p,
+		perm: newPermuter(p.Seed),
+	}
+	g.run()
+	roas := make([]rpki.ROA, 0, len(g.roaOrder))
+	for _, as := range g.roaOrder {
+		roas = append(roas, rpki.ROA{AS: as, Prefixes: g.roaPrefixes[as]})
+	}
+	return &Dataset{
+		Params: p,
+		Table:  bgp.NewTable(g.routes),
+		ROAs:   roas,
+		VRPs:   rpki.SetFromROAs(roas),
+	}
+}
+
+// generator carries the allocation state during a run.
+type generator struct {
+	p           Params
+	perm        *permuter
+	nextBlock   uint64 // sequential /20 block index (pre-permutation)
+	nextV6      uint64 // sequential IPv6 /32 index
+	nextEdgeAS  uint32 // non-RPKI origin allocator
+	edgeBlocks  int    // blocks assigned to the current edge AS
+	nextROAIdx  int    // round-robin RPKI AS allocator
+	routes      []bgp.Route
+	roaPrefixes map[rpki.ASN][]rpki.ROAPrefix
+	roaOrder    []rpki.ASN
+}
+
+const (
+	baseLen         = 20 // IPv4 block base prefix length
+	v6BaseLen       = 32
+	edgeASBase      = 100000 // non-RPKI ASes start here
+	roaASBase       = 1000   // RPKI ASes occupy [roaASBase, roaASBase+ROAOriginAS)
+	blocksPerEdgeAS = 12
+)
+
+// nextBase returns the next disjoint IPv4 /20 base prefix. Block indexes are
+// passed through a bijective permutation so addresses look scattered while
+// remaining collision-free.
+func (g *generator) nextBase() prefix.Prefix {
+	idx := g.perm.permute20(g.nextBlock)
+	g.nextBlock++
+	if g.nextBlock >= 1<<baseLen {
+		panic("synth: exhausted IPv4 /20 block space")
+	}
+	p, err := prefix.Make(prefix.IPv4, idx<<(64-baseLen), 0, baseLen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// nextV6Base returns the next disjoint IPv6 /32 under 2000::/3.
+func (g *generator) nextV6Base() prefix.Prefix {
+	idx := g.nextV6
+	g.nextV6++
+	// hi = 0010 (3 bits of 2000::/3) then 29 permuted bits then /32 boundary.
+	hi := uint64(0x2)<<60 | g.perm.permute29(idx)<<32
+	p, err := prefix.Make(prefix.IPv6, hi, 0, v6BaseLen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// edgeAS hands out non-RPKI origin ASes, a dozen blocks per AS.
+func (g *generator) edgeAS() rpki.ASN {
+	if g.edgeBlocks >= blocksPerEdgeAS {
+		g.nextEdgeAS++
+		g.edgeBlocks = 0
+	}
+	g.edgeBlocks++
+	return rpki.ASN(edgeASBase + g.nextEdgeAS)
+}
+
+// roaAS hands out RPKI origin ASes round-robin, so tuples spread evenly
+// across the p.ROAOriginAS ROAs (≈5.3 tuples per ROA at the 6/1 defaults).
+func (g *generator) roaAS() rpki.ASN {
+	as := rpki.ASN(roaASBase + g.nextROAIdx%g.p.ROAOriginAS)
+	g.nextROAIdx++
+	return as
+}
+
+func (g *generator) announce(p prefix.Prefix, as rpki.ASN) {
+	g.routes = append(g.routes, bgp.Route{Prefix: p, Origin: as})
+}
+
+func (g *generator) authorize(as rpki.ASN, p prefix.Prefix, maxLength uint8) {
+	if g.roaPrefixes == nil {
+		g.roaPrefixes = make(map[rpki.ASN][]rpki.ROAPrefix)
+	}
+	if _, ok := g.roaPrefixes[as]; !ok {
+		g.roaOrder = append(g.roaOrder, as)
+	}
+	g.roaPrefixes[as] = append(g.roaPrefixes[as], rpki.ROAPrefix{Prefix: p, MaxLength: maxLength})
+}
+
+func (g *generator) run() {
+	p := g.p
+	if p.ROAOriginAS <= 0 {
+		p.ROAOriginAS = 1
+		g.p = p
+	}
+	// BGP-only blocks.
+	for i := 0; i < p.Singles; i++ {
+		g.announce(g.nextBase(), g.edgeAS())
+	}
+	for i := 0; i < p.SinglesV6; i++ {
+		g.announce(g.nextV6Base(), g.edgeAS())
+	}
+	for i := 0; i < p.SibC; i++ {
+		as, base := g.edgeAS(), g.nextBase()
+		g.announce(base, as)
+		g.announce(base.Child(0), as)
+		g.announce(base.Child(1), as)
+	}
+	for i := 0; i < p.SibD; i++ {
+		as, base := g.edgeAS(), g.nextBase()
+		g.announce(base, as)
+		for _, c := range []prefix.Prefix{base.Child(0), base.Child(1)} {
+			g.announce(c, as)
+			g.announce(c.Child(0), as)
+			g.announce(c.Child(1), as)
+		}
+	}
+	for i := 0; i < p.Partial; i++ {
+		as, base := g.edgeAS(), g.nextBase()
+		g.announce(base, as)
+		g.announce(base.Child(uint8(i%2)), as)
+	}
+
+	// RPKI-covered blocks.
+	for i := 0; i < p.ROASingles; i++ {
+		as, base := g.roaAS(), g.nextBase()
+		g.announce(base, as)
+		g.authorize(as, base, base.Len())
+	}
+	for i := 0; i < p.ROASibC; i++ {
+		as, base := g.roaAS(), g.nextBase()
+		for _, q := range []prefix.Prefix{base, base.Child(0), base.Child(1)} {
+			g.announce(q, as)
+			g.authorize(as, q, q.Len())
+		}
+	}
+	for i := 0; i < p.ROAStale; i++ {
+		as, base := g.roaAS(), g.nextBase()
+		g.announce(base, as) // children authorized but NOT announced
+		for _, q := range []prefix.Prefix{base, base.Child(0), base.Child(1)} {
+			g.authorize(as, q, q.Len())
+		}
+	}
+	for i := 0; i < p.ROAMinML; i++ {
+		as, base := g.roaAS(), g.nextBase()
+		g.announce(base, as)
+		g.announce(base.Child(0), as)
+		g.announce(base.Child(1), as)
+		g.authorize(as, base, base.Len()+1) // minimal despite maxLength
+	}
+	for i := 0; i < p.ROAVulnML; i++ {
+		as, base := g.roaAS(), g.nextBase()
+		extras := p.VulnExtras
+		if i < p.VulnBonus {
+			extras++
+		}
+		// Scattered /base+3 subprefixes (odd leaves first): none nests in
+		// another, holes always remain, and no announced full-sibling pair
+		// acquires an announced parent.
+		leaves := base.Subprefixes(nil, base.Len()+3)
+		order := []int{1, 3, 5, 7, 0, 2, 4, 6}
+		for j := 0; j < extras && j < len(order); j++ {
+			g.announce(leaves[order[j]], as)
+		}
+		g.authorize(as, base, base.Len()+3) // base itself unannounced: vulnerable
+	}
+}
+
+// permuter provides deterministic bijections over 20- and 29-bit indexes
+// (a few rounds of a Feistel network keyed by the seed), so block addresses
+// are scattered but provably collision-free.
+type permuter struct{ keys [4]uint64 }
+
+func newPermuter(seed uint64) *permuter {
+	p := &permuter{}
+	x := seed | 1
+	for i := range p.keys {
+		// splitmix64 step.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.keys[i] = z ^ (z >> 31)
+	}
+	return p
+}
+
+// feistel runs a balanced Feistel network over 2*half bits.
+func (p *permuter) feistel(x uint64, half uint) uint64 {
+	mask := uint64(1)<<half - 1
+	l, r := x>>half&mask, x&mask
+	for _, k := range p.keys {
+		f := (r*0x9e3779b1 + k) ^ (r >> 3)
+		l, r = r, (l^f)&mask
+	}
+	return l<<half | r
+}
+
+func (p *permuter) permute20(x uint64) uint64 { return p.feistel(x, 10) }
+
+// permute29 permutes 28 bits via Feistel and passes the top bit through,
+// covering the full 29-bit index space injectively.
+func (p *permuter) permute29(x uint64) uint64 {
+	return x&(1<<28) | p.feistel(x&((1<<28)-1), 14)
+}
+
+// Summary describes a generated dataset in the paper's terms; used by tests
+// and cmd/roagen.
+func (d *Dataset) Summary() string {
+	st := d.VRPs.ComputeStats()
+	return fmt.Sprintf("routes=%d roas=%d tuples=%d usingMaxLength=%d",
+		d.Table.Len(), len(d.ROAs), st.Tuples, st.UsingMaxLength)
+}
