@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench fuzz
+
+# check is the CI gate: formatting, vet, build, and the race-enabled tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/ .
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzTrieVsReference -fuzztime=30s ./internal/core/

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rpki"
+)
+
+// Trie-engine micro-benchmarks. All report allocations so the arena engine's
+// build cost stays visible: building a trie must cost O(slab growths), not
+// one heap node per prefix bit, and a Compress loop in steady state recycles
+// released slabs instead of reallocating them.
+
+// benchVRPs returns roughly n VRPs (across the three origin ASes randomSet
+// draws from) with mergeable sibling structure, deterministic across runs.
+func benchVRPs(n int) []rpki.VRP {
+	rng := rand.New(rand.NewSource(42))
+	set := randomSet(rng, n)
+	return set.VRPs()
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	vrps := benchVRPs(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrie(0, vrps[0].Prefix.Family())
+		for _, v := range vrps {
+			tr.Insert(v.Prefix, v.MaxLength)
+		}
+		tr.Release()
+	}
+}
+
+func BenchmarkBuildTries(b *testing.B) {
+	s := rpki.NewSet(benchVRPs(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReleaseTries(BuildTries(s))
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	vrps := benchVRPs(1000)
+	tr := NewTrie(0, vrps[0].Prefix.Family())
+	for _, v := range vrps {
+		tr.Insert(v.Prefix, v.MaxLength)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vrps[i%len(vrps)]
+		tr.Lookup(v.Prefix)
+		tr.Authorizes(v.Prefix)
+	}
+}
+
+func BenchmarkTrieTuples(b *testing.B) {
+	vrps := benchVRPs(1000)
+	tr := NewTrie(0, vrps[0].Prefix.Family())
+	for _, v := range vrps {
+		tr.Insert(v.Prefix, v.MaxLength)
+	}
+	dst := make([]rpki.VRP, 0, tr.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Tuples(dst[:0])
+	}
+}
+
+func BenchmarkTrieCountAuthorized(b *testing.B) {
+	vrps := benchVRPs(1000)
+	tr := NewTrie(0, vrps[0].Prefix.Family())
+	for _, v := range vrps {
+		tr.Insert(v.Prefix, v.MaxLength)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CountAuthorized()
+	}
+}
+
+func BenchmarkCompressStrict(b *testing.B) {
+	s := rpki.NewSet(benchVRPs(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(s, Options{})
+	}
+}
+
+func BenchmarkCompressSubsumption(b *testing.B) {
+	s := rpki.NewSet(benchVRPs(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(s, Options{Subsumption: true})
+	}
+}
+
+func BenchmarkSemanticEqual(b *testing.B) {
+	s := rpki.NewSet(benchVRPs(2000))
+	out, _ := Compress(s, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, ce := SemanticEqual(s, out); !ok {
+			b.Fatal(ce)
+		}
+	}
+}

@@ -41,7 +41,10 @@ type Options struct {
 	// Parallelism compresses that many tries concurrently — the paper's
 	// §7.2 suggestion ("Performance could be improved by parallelizing
 	// across tries"; tries are per-(AS, family) and fully independent).
-	// Values < 2 run sequentially. Output is identical either way.
+	// A fixed pool of exactly min(Parallelism, len(tries)) worker
+	// goroutines consumes tries from a channel, so Parallelism bounds both
+	// concurrent work and goroutine count. Values < 2 run sequentially.
+	// Output is identical either way.
 	Parallelism int
 }
 
@@ -63,6 +66,21 @@ func (r Result) SavedFraction() float64 {
 	return 1 - float64(r.Out)/float64(r.In)
 }
 
+// testHookCompress, when non-nil, observes every compressTrie call made by
+// Compress: it is invoked with true on entry and false on exit. The
+// worker-pool regression test uses it to assert the Parallelism concurrency
+// bound; it must never be set outside tests.
+var testHookCompress func(entering bool)
+
+// compressOne wraps compressTrie with the test hook.
+func compressOne(t *Trie, opts Options) Result {
+	if hook := testHookCompress; hook != nil {
+		hook(true)
+		defer hook(false)
+	}
+	return compressTrie(t, opts)
+}
+
 // Compress is the package's main entry point — the compress_roas utility of
 // §7. It rewrites the VRP set into an equivalent set that uses maxLength,
 // returning the new set and run statistics. The input set is not modified.
@@ -74,22 +92,29 @@ func Compress(s *rpki.Set, opts Options) (*rpki.Set, Result) {
 	tries := BuildTries(s)
 	res := Result{In: s.Len(), TrieCount: len(tries)}
 	results := make([]Result, len(tries))
-	if opts.Parallelism > 1 && len(tries) > 1 {
+	if workers := min(opts.Parallelism, len(tries)); workers > 1 {
+		// Fixed worker pool: exactly `workers` goroutines drain the job
+		// channel, so a full-deployment snapshot never has more than
+		// Parallelism compression goroutines in flight.
+		jobs := make(chan int)
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, opts.Parallelism)
-		for i, t := range tries {
-			wg.Add(1)
-			go func(i int, t *Trie) {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				results[i] = compressTrie(t, opts)
-				<-sem
-			}(i, t)
+				for i := range jobs {
+					results[i] = compressOne(tries[i], opts)
+				}
+			}()
 		}
+		for i := range tries {
+			jobs <- i
+		}
+		close(jobs)
 		wg.Wait()
 	} else {
 		for i, t := range tries {
-			results[i] = compressTrie(t, opts)
+			results[i] = compressOne(t, opts)
 		}
 	}
 	var out []rpki.VRP
@@ -98,6 +123,7 @@ func Compress(s *rpki.Set, opts Options) (*rpki.Set, Result) {
 		res.Subsumed += results[i].Subsumed
 		res.Raised += results[i].Raised
 		out = t.Tuples(out)
+		t.Release()
 	}
 	cs := rpki.NewSet(out)
 	res.Out = cs.Len()
@@ -105,95 +131,114 @@ func Compress(s *rpki.Set, opts Options) (*rpki.Set, Result) {
 }
 
 // compressTrie runs Algorithm 1 over one trie in place.
+//
+// "we iterate through the trie using a depth-first search (DFS). As the
+// DFS backtracks through the trie we run the compression function." The DFS
+// is iterative: a frame is pushed in the descend stage (stage 0), its
+// children are queued, and the compression function runs when the frame
+// resurfaces with its subtree finished (stage 1).
 func compressTrie(t *Trie, opts Options) Result {
 	var res Result
 	if opts.Subsumption {
 		res.Subsumed = subsume(t)
 	}
-	// "we iterate through the trie using a depth-first search (DFS). As the
-	// DFS backtracks through the trie we run the compression function."
-	var dfs func(n *node)
-	dfs = func(n *node) {
-		if n == nil {
-			return
+	type frame struct {
+		idx   int32
+		stage uint8
+	}
+	stack := make([]frame, 1, 2*maxDepth)
+	stack[0] = frame{idx: 0}
+	for len(stack) > 0 {
+		top := len(stack) - 1
+		f := stack[top]
+		if f.stage == 0 {
+			stack[top].stage = 1
+			n := &t.nodes[f.idx]
+			if c := n.children[1]; c != noChild {
+				stack = append(stack, frame{idx: c})
+			}
+			if c := n.children[0]; c != noChild {
+				stack = append(stack, frame{idx: c})
+			}
+			continue
 		}
-		dfs(n.children[0])
-		dfs(n.children[1])
+		stack = stack[:top]
+		n := &t.nodes[f.idx]
 		if !n.present {
-			return
+			continue
 		}
-		var l, r *node
+		var l, r int32
 		switch opts.Mode {
 		case Strict:
-			l = presentAtDepthPlusOne(n.children[0])
-			r = presentAtDepthPlusOne(n.children[1])
+			l = presentAtDepthPlusOne(t, n.children[0])
+			r = presentAtDepthPlusOne(t, n.children[1])
 		case Literal:
-			l = nearestPresent(n.children[0])
-			r = nearestPresent(n.children[1])
+			l = nearestPresent(t, n.children[0])
+			r = nearestPresent(t, n.children[1])
 		}
-		if l == nil || r == nil {
-			return // "if node has both direct children" fails
+		if l < 0 || r < 0 {
+			continue // "if node has both direct children" fails
 		}
-		minChildVal := l.value
-		if r.value < minChildVal {
-			minChildVal = r.value
+		ln, rn := &t.nodes[l], &t.nodes[r]
+		minChildVal := ln.value
+		if rn.value < minChildVal {
+			minChildVal = rn.value
 		}
 		if minChildVal > n.value {
 			// "Adjust parent's maxLength to cover children."
 			n.value = minChildVal
 			res.Raised++
 		}
-		if l.value <= n.value {
-			l.present = false // "left child now covered by father"
+		if ln.value <= n.value {
+			ln.present = false // "left child now covered by father"
 			t.size--
 			res.Merged++
 		}
-		if r.value <= n.value {
-			r.present = false
+		if rn.value <= n.value {
+			rn.present = false
 			t.size--
 			res.Merged++
 		}
 	}
-	dfs(t.root)
 	return res
 }
 
 // presentAtDepthPlusOne returns c if it is a present node (c is already the
-// depth+1 child pointer), else nil.
-func presentAtDepthPlusOne(c *node) *node {
-	if c != nil && c.present {
+// depth+1 child index), else -1.
+func presentAtDepthPlusOne(t *Trie, c int32) int32 {
+	if c != noChild && t.nodes[c].present {
 		return c
 	}
-	return nil
+	return -1
 }
 
 // nearestPresent returns the shortest-keyed present node in the subtree
-// rooted at c — the paper's "direct child". When both branches of a
-// structural node hold present descendants at equal minimal depth there is
-// no unique shortest key; we take the left (0) branch's, matching a
-// pre-order scan of the key space.
-func nearestPresent(c *node) *node {
-	if c == nil {
-		return nil
+// rooted at c — the paper's "direct child" — or -1 when the subtree holds
+// none. When both branches of a structural node hold present descendants at
+// equal minimal depth there is no unique shortest key; we take the left (0)
+// branch's, matching a pre-order scan of the key space.
+func nearestPresent(t *Trie, c int32) int32 {
+	if c == noChild {
+		return -1
 	}
 	// BFS by depth to find the minimal-depth present node.
-	level := []*node{c}
-	for len(level) > 0 {
-		var next []*node
-		for _, n := range level {
-			if n.present {
-				return n
-			}
-			if n.children[0] != nil {
-				next = append(next, n.children[0])
-			}
-			if n.children[1] != nil {
-				next = append(next, n.children[1])
-			}
+	queue := make([]int32, 1, 64)
+	queue[0] = c
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		n := &t.nodes[i]
+		if n.present {
+			return i
 		}
-		level = next
+		if n.children[0] != noChild {
+			queue = append(queue, n.children[0])
+		}
+		if n.children[1] != noChild {
+			queue = append(queue, n.children[1])
+		}
 	}
-	return nil
+	return -1
 }
 
 // subsume deletes every present node whose maxLength does not exceed the
@@ -201,11 +246,17 @@ func nearestPresent(c *node) *node {
 // ancestor authorizes a superset of the deleted tuple's routes.
 func subsume(t *Trie) int {
 	removed := 0
-	var dfs func(n *node, g int16)
-	dfs = func(n *node, g int16) {
-		if n == nil {
-			return
-		}
+	type frame struct {
+		idx int32
+		g   int16
+	}
+	stack := make([]frame, 1, maxDepth+1)
+	stack[0] = frame{idx: 0, g: -1}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[f.idx]
+		g := f.g
 		if n.present {
 			if int16(n.value) <= g {
 				n.present = false
@@ -215,9 +266,11 @@ func subsume(t *Trie) int {
 				g = int16(n.value)
 			}
 		}
-		dfs(n.children[0], g)
-		dfs(n.children[1], g)
+		for bit := 0; bit < 2; bit++ {
+			if c := n.children[bit]; c != noChild {
+				stack = append(stack, frame{idx: c, g: g})
+			}
+		}
 	}
-	dfs(t.root, -1)
 	return removed
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
@@ -311,6 +313,75 @@ func TestCompressQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// manyTrieSet builds one mergeable (parent + both children) family per AS so
+// the set fans out into count independent tries.
+func manyTrieSet(rng *rand.Rand, count int) *rpki.Set {
+	var vrps []rpki.VRP
+	for as := 1; as <= count; as++ {
+		l := uint8(8 + rng.Intn(10))
+		p, err := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+		if err != nil {
+			panic(err)
+		}
+		vrps = append(vrps,
+			rpki.VRP{Prefix: p, MaxLength: l, AS: rpki.ASN(as)},
+			rpki.VRP{Prefix: p.Child(0), MaxLength: l + 1, AS: rpki.ASN(as)},
+			rpki.VRP{Prefix: p.Child(1), MaxLength: l + 1, AS: rpki.ASN(as)})
+	}
+	return rpki.NewSet(vrps)
+}
+
+// TestCompressParallelismTwoManyTries is the worker-pool regression test:
+// Parallelism: 2 over hundreds of tries must produce output and statistics
+// identical to sequential mode — the guarantee in the Options doc comment.
+func TestCompressParallelismTwoManyTries(t *testing.T) {
+	in := manyTrieSet(rand.New(rand.NewSource(97)), 400)
+	seq, seqRes := Compress(in, Options{})
+	par, parRes := Compress(in, Options{Parallelism: 2})
+	if !seq.Equal(par) {
+		t.Fatalf("Parallelism 2 output differs from sequential\nseq: %v\npar: %v",
+			seq.VRPs(), par.VRPs())
+	}
+	if seqRes != parRes {
+		t.Fatalf("stats differ: %+v vs %+v", seqRes, parRes)
+	}
+	if err := VerifyCompression(in, par); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressParallelismBoundsWorkers asserts that Compress with
+// Parallelism: N never has more than N compression goroutines in flight —
+// the fixed worker pool, unlike the former goroutine-per-trie fan-out, caps
+// goroutine count and not just concurrent work.
+func TestCompressParallelismBoundsWorkers(t *testing.T) {
+	const limit = 3
+	var inflight, peak atomic.Int32
+	testHookCompress = func(entering bool) {
+		if !entering {
+			inflight.Add(-1)
+			return
+		}
+		n := inflight.Add(1)
+		for {
+			m := peak.Load()
+			if n <= m || peak.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		// Hold the slot briefly so overlapping workers actually overlap.
+		time.Sleep(50 * time.Microsecond)
+	}
+	defer func() { testHookCompress = nil }()
+	in := manyTrieSet(rand.New(rand.NewSource(101)), 300)
+	Compress(in, Options{Parallelism: limit})
+	if got := peak.Load(); got > limit {
+		t.Fatalf("%d compression goroutines in flight, limit %d", got, limit)
+	} else if got < 2 {
+		t.Logf("peak concurrency %d; pool never overlapped (slow machine?)", got)
 	}
 }
 

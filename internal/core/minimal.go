@@ -75,7 +75,9 @@ func AdditionalPrefixes(s *rpki.Set, table *bgp.Table) int {
 // authorized — is deployment coverage, not minimality). It returns a
 // witness route that is authorized but unannounced when not minimal.
 func IsMinimal(s *rpki.Set, table *bgp.Table) (bool, *rpki.VRP) {
-	for _, t := range BuildTries(s) {
+	tries := BuildTries(s)
+	defer ReleaseTries(tries)
+	for _, t := range tries {
 		var witness *rpki.VRP
 		as := t.AS()
 		t.Walk(func(p prefix.Prefix, maxLength uint8) {

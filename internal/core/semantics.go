@@ -20,25 +20,38 @@ import (
 // a concrete counterexample route on inequality, which the tests and the
 // compressroas -verify flag surface directly.
 
-// mnode is a merged trie node carrying per-side values.
+// mnode is a merged trie node carrying per-side values. Like the engine's
+// node type it addresses children by slab index into the owning mtrie, with
+// 0 (the root, never a child) as the nil sentinel.
 type mnode struct {
-	children [2]*mnode
-	pfx      prefix.Prefix
+	children [2]int32
 	valA     int16 // maxLength on side A, -1 if absent
 	valB     int16
 }
 
-func newMnode(p prefix.Prefix) *mnode { return &mnode{pfx: p, valA: -1, valB: -1} }
+// mtrie is the arena holding one merged (AS, family) trie.
+type mtrie struct {
+	nodes []mnode
+	fam   prefix.Family
+}
 
-func (m *mnode) insert(p prefix.Prefix, maxLength uint8, sideB bool) {
-	n := m
+func newMtrie(fam prefix.Family) *mtrie {
+	return &mtrie{nodes: []mnode{{valA: -1, valB: -1}}, fam: fam}
+}
+
+func (m *mtrie) insert(p prefix.Prefix, maxLength uint8, sideB bool) {
+	idx := int32(0)
 	for depth := uint8(0); depth < p.Len(); depth++ {
 		bit := p.Bit(depth)
-		if n.children[bit] == nil {
-			n.children[bit] = newMnode(n.pfx.Child(bit))
+		c := m.nodes[idx].children[bit]
+		if c == noChild {
+			c = int32(len(m.nodes))
+			m.nodes = append(m.nodes, mnode{valA: -1, valB: -1})
+			m.nodes[idx].children[bit] = c
 		}
-		n = n.children[bit]
+		idx = c
 	}
+	n := &m.nodes[idx]
 	v := int16(maxLength)
 	if sideB {
 		if v > n.valB {
@@ -73,15 +86,11 @@ func SemanticEqual(a, b *rpki.Set) (bool, *Counterexample) {
 		as  rpki.ASN
 		fam prefix.Family
 	}
-	merged := make(map[key]*mnode)
-	rootFor := func(k key) *mnode {
+	merged := make(map[key]*mtrie)
+	rootFor := func(k key) *mtrie {
 		m, ok := merged[k]
 		if !ok {
-			p, err := prefix.Make(k.fam, 0, 0, 0)
-			if err != nil {
-				panic(err)
-			}
-			m = newMnode(p)
+			m = newMtrie(k.fam)
 			merged[k] = m
 		}
 		return m
@@ -104,44 +113,69 @@ func SemanticEqual(a, b *rpki.Set) (bool, *Counterexample) {
 		return keys[i].fam < keys[j].fam
 	})
 	for _, k := range keys {
-		if ce := diffTrie(merged[k], -1, -1, k.as); ce != nil {
+		if ce := diffTrie(merged[k], k.as); ce != nil {
 			return false, ce
 		}
 	}
 	return true, nil
 }
 
-// diffTrie returns a counterexample in the subtree at n, where gA/gB are the
-// ancestor maxima excluding n itself, or nil if the subtrees agree.
-func diffTrie(n *mnode, gA, gB int16, as rpki.ASN) *Counterexample {
-	if n.valA > gA {
-		gA = n.valA
+// diffFrame is one pending work item of the diff traversal. With absentBit
+// < 0 it is a real node: idx, its prefix, and the per-side ancestor maxima
+// excluding the node itself. With absentBit 0 or 1 it is a deferred
+// divergence report for the tuple-free subtree under that absent child of
+// pfx (only pushed when the bounds already prove a divergence), kept on the
+// stack so it surfaces at its correct pre-order position.
+type diffFrame struct {
+	idx       int32
+	gA, gB    int16
+	absentBit int8
+	pfx       prefix.Prefix
+}
+
+// diffTrie returns the first counterexample of a pre-order scan of the
+// merged trie, or nil if the sides agree everywhere.
+func diffTrie(m *mtrie, as rpki.ASN) *Counterexample {
+	rootPfx, err := prefix.Make(m.fam, 0, 0, 0)
+	if err != nil {
+		panic(err)
 	}
-	if n.valB > gB {
-		gB = n.valB
-	}
-	l := int16(n.pfx.Len())
-	// Authorization of the node's own prefix.
-	if (l <= gA) != (l <= gB) {
-		return &Counterexample{
-			Route:       rpki.VRP{Prefix: n.pfx, MaxLength: n.pfx.Len(), AS: as},
-			AuthorizedA: l <= gA,
+	stack := make([]diffFrame, 1, 2*maxDepth)
+	stack[0] = diffFrame{idx: 0, gA: -1, gB: -1, absentBit: -1, pfx: rootPfx}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.absentBit >= 0 {
+			return tupleFreeCounterexample(f.pfx, uint8(f.absentBit), f.gA, f.gB, as)
 		}
-	}
-	for bit := uint8(0); bit < 2; bit++ {
-		if c := n.children[bit]; c != nil {
-			if ce := diffTrie(c, gA, gB, as); ce != nil {
-				return ce
+		n := &m.nodes[f.idx]
+		gA, gB := f.gA, f.gB
+		if n.valA > gA {
+			gA = n.valA
+		}
+		if n.valB > gB {
+			gB = n.valB
+		}
+		l := int16(f.pfx.Len())
+		// Authorization of the node's own prefix.
+		if (l <= gA) != (l <= gB) {
+			return &Counterexample{
+				Route:       rpki.VRP{Prefix: f.pfx, MaxLength: f.pfx.Len(), AS: as},
+				AuthorizedA: l <= gA,
 			}
-			continue
 		}
-		// Tuple-free subtree rooted at the absent child: authorized depths
-		// are (l, gX]. The sides agree iff the effective bounds match or
-		// both subtrees are empty of authorizations.
-		if gA == gB || (gA <= l && gB <= l) {
-			continue
+		// Push children 1-before-0 so the stack pops them in bit order. An
+		// absent child roots a tuple-free subtree whose authorized depths are
+		// (l, gX]: the sides agree iff the effective bounds match or both
+		// bound-authorized ranges are empty; otherwise a deferred divergence
+		// frame keeps the report at its pre-order position.
+		for bit := int8(1); bit >= 0; bit-- {
+			if c := n.children[bit]; c != noChild {
+				stack = append(stack, diffFrame{idx: c, gA: gA, gB: gB, absentBit: -1, pfx: f.pfx.Child(uint8(bit))})
+			} else if gA != gB && (gA > l || gB > l) {
+				stack = append(stack, diffFrame{gA: gA, gB: gB, absentBit: bit, pfx: f.pfx})
+			}
 		}
-		return tupleFreeCounterexample(n.pfx, bit, gA, gB, as)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
@@ -19,29 +20,84 @@ import (
 // to connect present nodes; a present node corresponds to a (prefix,
 // maxLength) tuple ("Each trie node corresponds to some (AS, prefix,
 // maxLength)-tuple", §7.1).
+//
+// Nodes live in the owning Trie's slab and address their children by slab
+// index rather than pointer: index 0 is the root, which is never anyone's
+// child, so 0 doubles as the nil child sentinel. A node does not store its
+// prefix — the prefix is the path from the root, and traversals that need it
+// rebuild it incrementally with Prefix.Child.
 type node struct {
-	children [2]*node
-	pfx      prefix.Prefix
+	children [2]int32
 	value    uint8 // maxLength; meaningful only when present
 	present  bool
 }
 
+const noChild int32 = 0
+
 // Trie is the per-(origin AS, address family) prefix tree of §7.1. The trie
 // key of a node is the bit string of its prefix; node values are maxLengths.
+//
+// All nodes live in a single contiguous slab, so building a trie costs
+// O(log nodes) slab growths rather than one heap allocation per prefix bit,
+// and the whole structure is freed (or recycled, see Release) as one object.
+// Child slab indices are always greater than their parent's, which makes the
+// structure trivially acyclic.
 type Trie struct {
-	root *node
-	fam  prefix.Family
-	as   rpki.ASN
-	size int // number of present nodes
+	nodes []node // nodes[0] is the root
+	fam   prefix.Family
+	as    rpki.ASN
+	size  int // number of present nodes
 }
+
+// slabPool recycles node slabs (as *[]node) across tries. Compress releases
+// every trie it builds once the tuples are extracted, so repeated runs over
+// full RPKI snapshots reuse a steady-state set of slabs instead of
+// reallocating O(tries) of them per run. Each Put boxes one slab; Get
+// returning nil means the pool is empty.
+var slabPool sync.Pool
 
 // NewTrie returns an empty trie for one origin AS and family.
 func NewTrie(as rpki.ASN, fam prefix.Family) *Trie {
-	rootPfx, err := prefix.Make(fam, 0, 0, 0)
-	if err != nil {
-		panic(err) // fam is validated by Make; unreachable for IPv4/IPv6
+	return newTrieCap(as, fam, 0)
+}
+
+// newTrieCap returns an empty trie whose slab holds at least hint nodes
+// without growing, recycling a pooled slab when one is available.
+func newTrieCap(as rpki.ASN, fam prefix.Family, hint int) *Trie {
+	if fam != prefix.IPv4 && fam != prefix.IPv6 {
+		panic(fmt.Sprintf("core: invalid family %d", fam))
 	}
-	return &Trie{root: &node{pfx: rootPfx}, fam: fam, as: as}
+	// Cap the pre-size: hint is an upper bound that ignores path sharing, so
+	// beyond this the slab grows by appending (still O(log n) allocations).
+	const maxHint = 1 << 15
+	if hint > maxHint {
+		hint = maxHint
+	}
+	var nodes []node
+	if p, _ := slabPool.Get().(*[]node); p != nil && cap(*p) >= hint {
+		nodes = (*p)[:0]
+	} else {
+		// Pool empty, or the recycled slab is smaller than the hint: let the
+		// undersized slab go to GC and allocate at full size once.
+		nodes = make([]node, 0, hint)
+	}
+	return &Trie{nodes: append(nodes, node{}), fam: fam, as: as}
+}
+
+// Release returns the trie's node slab to an internal pool for reuse by
+// future tries. The trie must not be used afterwards. Calling Release is
+// optional — an unreleased trie is simply garbage collected — but bulk
+// pipelines (Compress over a full snapshot) release tries as they finish to
+// keep slab allocation O(working set) instead of O(total tries).
+func (t *Trie) Release() {
+	nodes := t.nodes
+	t.nodes = nil
+	t.size = 0
+	if nodes == nil {
+		return
+	}
+	s := nodes[:0]
+	slabPool.Put(&s)
 }
 
 // AS returns the origin AS the trie belongs to.
@@ -52,6 +108,15 @@ func (t *Trie) Family() prefix.Family { return t.fam }
 
 // Size returns the number of tuples (present nodes) in the trie.
 func (t *Trie) Size() int { return t.size }
+
+// rootPrefix returns the /0 prefix of the trie's family.
+func (t *Trie) rootPrefix() prefix.Prefix {
+	p, err := prefix.Make(t.fam, 0, 0, 0)
+	if err != nil {
+		panic(err) // fam is validated at construction; unreachable
+	}
+	return p
+}
 
 // Insert adds the tuple (p, maxLength). Inserting a prefix twice keeps the
 // larger maxLength, since the union of the two tuples' authorizations equals
@@ -64,14 +129,18 @@ func (t *Trie) Insert(p prefix.Prefix, maxLength uint8) {
 	if maxLength < p.Len() || maxLength > p.MaxLen() {
 		panic(fmt.Sprintf("core: maxLength %d invalid for %s", maxLength, p))
 	}
-	n := t.root
+	idx := int32(0)
 	for depth := uint8(0); depth < p.Len(); depth++ {
 		bit := p.Bit(depth)
-		if n.children[bit] == nil {
-			n.children[bit] = &node{pfx: n.pfx.Child(bit)}
+		c := t.nodes[idx].children[bit]
+		if c == noChild {
+			c = int32(len(t.nodes))
+			t.nodes = append(t.nodes, node{})
+			t.nodes[idx].children[bit] = c
 		}
-		n = n.children[bit]
+		idx = c
 	}
+	n := &t.nodes[idx]
 	if !n.present {
 		n.present = true
 		n.value = maxLength
@@ -91,33 +160,60 @@ func (t *Trie) InsertVRP(v rpki.VRP) {
 	t.Insert(v.Prefix, v.MaxLength)
 }
 
+// maxDepth bounds the trie height: one level per prefix bit plus the root.
+const maxDepth = 129
+
+// walkFrame is one pending subtree of an iterative pre-order traversal.
+type walkFrame struct {
+	idx int32
+	pfx prefix.Prefix
+}
+
 // Tuples appends the trie's present tuples to dst in canonical prefix order
 // and returns the extended slice.
 func (t *Trie) Tuples(dst []rpki.VRP) []rpki.VRP {
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.present {
-			dst = append(dst, rpki.VRP{Prefix: n.pfx, MaxLength: n.value, AS: t.as})
-		}
-		rec(n.children[0])
-		rec(n.children[1])
-	}
-	rec(t.root)
+	t.Walk(func(p prefix.Prefix, maxLength uint8) {
+		dst = append(dst, rpki.VRP{Prefix: p, MaxLength: maxLength, AS: t.as})
+	})
 	return dst
+}
+
+// Walk visits every present tuple in canonical order. The traversal is
+// iterative over an explicit stack: pushing the 1-child before the 0-child
+// yields the pre-order of the key space, and the stack never exceeds the
+// trie height.
+func (t *Trie) Walk(fn func(p prefix.Prefix, maxLength uint8)) {
+	stack := make([]walkFrame, 1, maxDepth+1)
+	stack[0] = walkFrame{idx: 0, pfx: t.rootPrefix()}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[f.idx]
+		if n.present {
+			fn(f.pfx, n.value)
+		}
+		if c := n.children[1]; c != noChild {
+			stack = append(stack, walkFrame{idx: c, pfx: f.pfx.Child(1)})
+		}
+		if c := n.children[0]; c != noChild {
+			stack = append(stack, walkFrame{idx: c, pfx: f.pfx.Child(0)})
+		}
+	}
 }
 
 // Lookup returns the maxLength stored at exactly p, if present.
 func (t *Trie) Lookup(p prefix.Prefix) (uint8, bool) {
-	n := t.root
+	if p.Family() != t.fam {
+		return 0, false
+	}
+	idx := int32(0)
 	for depth := uint8(0); depth < p.Len(); depth++ {
-		n = n.children[p.Bit(depth)]
-		if n == nil {
+		idx = t.nodes[idx].children[p.Bit(depth)]
+		if idx == noChild {
 			return 0, false
 		}
 	}
+	n := &t.nodes[idx]
 	if !n.present {
 		return 0, false
 	}
@@ -130,59 +226,70 @@ func (t *Trie) Authorizes(q prefix.Prefix) bool {
 	if q.Family() != t.fam {
 		return false
 	}
-	n := t.root
+	idx := int32(0)
 	for depth := uint8(0); ; depth++ {
+		n := &t.nodes[idx]
 		if n.present && n.value >= q.Len() {
 			return true
 		}
 		if depth >= q.Len() {
 			return false
 		}
-		n = n.children[q.Bit(depth)]
-		if n == nil {
+		idx = n.children[q.Bit(depth)]
+		if idx == noChild {
 			return false
 		}
 	}
+}
+
+// countFrame is one pending subtree of the CountAuthorized traversal: the
+// node's slab index, its depth (= prefix length), and the maximum maxLength
+// over its present strict ancestors (-1 when none).
+type countFrame struct {
+	idx   int32
+	g     int16
+	depth uint8
 }
 
 // CountAuthorized returns the number of distinct prefixes the trie
 // authorizes (counting each authorized prefix once even when several tuples
 // cover it), saturating at the uint64 maximum. This measures the authorized
 // route space that vulnerability analysis (§4) compares against BGP.
+//
+// The traversal propagates g — the maximum maxLength over present ancestors
+// (see DESIGN.md): a prefix q is authorized iff len(q) <= g(q). Absent
+// subtrees under an authorizing ancestor are complete binary trees and are
+// counted in closed form.
 func (t *Trie) CountAuthorized() uint64 {
-	return countAuthorized(t.root, -1)
-}
-
-// countAuthorized performs the g-propagation DFS described in DESIGN.md:
-// g is the maximum maxLength over present ancestors (or -1). A prefix q is
-// authorized iff len(q) <= g(q).
-func countAuthorized(n *node, g int16) uint64 {
-	if n == nil {
-		return 0
-	}
-	if n.present && int16(n.value) > g {
-		g = int16(n.value)
-	}
 	var total uint64
-	l := int16(n.pfx.Len())
-	if l <= g {
-		total = 1
-	}
-	for bit := 0; bit < 2; bit++ {
-		var sub uint64
-		if c := n.children[bit]; c != nil {
-			sub = countAuthorized(c, g)
-		} else if g > l {
-			// Tuple-free subtree fully authorized down to depth g:
-			// 2^(g-l) - 1 prefixes (complete binary tree below this node).
-			d := uint64(g - l)
-			if d >= 64 {
-				sub = ^uint64(0)
-			} else {
-				sub = (uint64(1) << d) - 1
+	stack := make([]countFrame, 1, maxDepth+1)
+	stack[0] = countFrame{idx: 0, g: -1, depth: 0}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[f.idx]
+		g := f.g
+		if n.present && int16(n.value) > g {
+			g = int16(n.value)
+		}
+		l := int16(f.depth)
+		if l <= g {
+			total = satAdd(total, 1)
+		}
+		for bit := 0; bit < 2; bit++ {
+			if c := n.children[bit]; c != noChild {
+				stack = append(stack, countFrame{idx: c, g: g, depth: f.depth + 1})
+			} else if g > l {
+				// Tuple-free subtree fully authorized down to depth g:
+				// 2^(g-l) - 1 prefixes (complete binary tree below this node).
+				d := uint64(g - l)
+				sub := ^uint64(0)
+				if d < 64 {
+					sub = (uint64(1) << d) - 1
+				}
+				total = satAdd(total, sub)
 			}
 		}
-		total = satAdd(total, sub)
 	}
 	return total
 }
@@ -194,71 +301,83 @@ func satAdd(a, b uint64) uint64 {
 	return a + b
 }
 
-// Walk visits every present tuple in canonical order.
-func (t *Trie) Walk(fn func(p prefix.Prefix, maxLength uint8)) {
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.present {
-			fn(n.pfx, n.value)
-		}
-		rec(n.children[0])
-		rec(n.children[1])
-	}
-	rec(t.root)
-}
-
 // checkInvariants verifies structural soundness; used by tests.
 func (t *Trie) checkInvariants() error {
+	if len(t.nodes) == 0 {
+		return fmt.Errorf("core: trie has no root (released?)")
+	}
 	count := 0
-	var rec func(n *node, depth uint8) error
-	rec = func(n *node, depth uint8) error {
-		if n == nil {
-			return nil
-		}
-		if n.pfx.Len() != depth {
-			return fmt.Errorf("core: node %s at depth %d", n.pfx, depth)
+	type frame struct {
+		idx int32
+		pfx prefix.Prefix
+	}
+	visited := 1
+	stack := []frame{{idx: 0, pfx: t.rootPrefix()}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[f.idx]
+		if n.pfxLenMismatch(f.pfx) {
+			return fmt.Errorf("core: node %d at %s exceeds family depth", f.idx, f.pfx)
 		}
 		if n.present {
 			count++
-			if n.value < n.pfx.Len() || n.value > n.pfx.MaxLen() {
-				return fmt.Errorf("core: node %s has bad value %d", n.pfx, n.value)
+			if n.value < f.pfx.Len() || n.value > f.pfx.MaxLen() {
+				return fmt.Errorf("core: node %s has bad value %d", f.pfx, n.value)
 			}
 		}
 		for bit := uint8(0); bit < 2; bit++ {
 			c := n.children[bit]
-			if c != nil && c.pfx != n.pfx.Child(bit) {
-				return fmt.Errorf("core: child %s under %s on bit %d", c.pfx, n.pfx, bit)
+			if c == noChild {
+				continue
 			}
-			if err := rec(c, depth+1); err != nil {
-				return err
+			if c <= f.idx || int(c) >= len(t.nodes) {
+				return fmt.Errorf("core: child index %d of node %d out of order", c, f.idx)
 			}
+			visited++
+			stack = append(stack, frame{idx: c, pfx: f.pfx.Child(bit)})
 		}
-		return nil
-	}
-	if err := rec(t.root, 0); err != nil {
-		return err
 	}
 	if count != t.size {
 		return fmt.Errorf("core: size %d but %d present nodes", t.size, count)
 	}
+	if visited != len(t.nodes) {
+		return fmt.Errorf("core: %d nodes in slab but %d reachable", len(t.nodes), visited)
+	}
 	return nil
+}
+
+// pfxLenMismatch reports whether a node with children sits at the family's
+// maximum depth (its prefix could not have children).
+func (n *node) pfxLenMismatch(p prefix.Prefix) bool {
+	return (n.children[0] != noChild || n.children[1] != noChild) && p.Len() >= p.MaxLen()
 }
 
 // BuildTries partitions a VRP set into per-(AS, family) tries, the structure
 // §7.1 compresses ("For each AS number in the list, we generate a trie for
-// IPv4 and a trie for IPv6").
+// IPv4 and a trie for IPv6"). Each trie's slab is pre-sized from the group's
+// total prefix bits — an upper bound on its node count — so a build performs
+// O(tries) slab allocations rather than one per prefix bit.
 func BuildTries(s *rpki.Set) []*Trie {
 	groups := s.ByOrigin()
 	out := make([]*Trie, 0, len(groups))
 	for _, g := range groups {
-		t := NewTrie(g.AS, g.Family)
+		hint := 1
+		for _, v := range g.VRPs {
+			hint += int(v.Prefix.Len())
+		}
+		t := newTrieCap(g.AS, g.Family, hint)
 		for _, v := range g.VRPs {
 			t.InsertVRP(v)
 		}
 		out = append(out, t)
 	}
 	return out
+}
+
+// ReleaseTries releases every trie in the slice; see (*Trie).Release.
+func ReleaseTries(tries []*Trie) {
+	for _, t := range tries {
+		t.Release()
+	}
 }
