@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race bench bench-smoke fuzz
 
 # check is the CI gate: formatting, vet, build, and the race-enabled tests.
 check: fmt vet build race
@@ -23,8 +23,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the in-package core benchmarks plus the paper-evaluation
+# benches; -count=1 defeats test caching so numbers are always fresh.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/ .
+	$(GO) test -run='^$$' -bench=. -benchmem -count=1 ./internal/core/ .
+
+# bench-smoke is the quick pipeline-regression gate CI runs: the core micro
+# benches and the headline compression bench at a handful of iterations.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem -count=1 ./internal/core/
+	$(GO) test -run='^$$' -bench='^(BenchmarkFigure2|BenchmarkCompressToday)$$' -benchtime=3x -benchmem -count=1 .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTrieVsReference -fuzztime=30s ./internal/core/

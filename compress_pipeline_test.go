@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpki"
+	"repro/internal/synth"
+)
+
+// TestCompressPipelineDifferential pins the parallel merge-based Compress
+// pipeline on the paper-scale 6/1/2017 snapshot: for every Mode ×
+// Subsumption combination the output must be bit-identical across
+// Parallelism 1, 4 and 8, already normalized (the merge must reproduce
+// exactly what rpki.NewSet's sort+dedup would build), and — in Strict mode —
+// semantically equal to the input.
+func TestCompressPipelineDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping paper-scale differential")
+	}
+	d := synth.Generate(synth.Params6_1())
+	for _, mode := range []core.Mode{core.Strict, core.Literal} {
+		for _, subsume := range []bool{false, true} {
+			name := fmt.Sprintf("mode=%d/subsume=%v", mode, subsume)
+			t.Run(name, func(t *testing.T) {
+				var baseline *rpki.Set
+				var baseRes core.Result
+				for _, par := range []int{1, 4, 8} {
+					out, res := core.Compress(d.VRPs, core.Options{
+						Mode: mode, Subsumption: subsume, Parallelism: par,
+					})
+					if !out.Equal(rpki.NewSet(out.VRPs())) {
+						t.Fatalf("p%d: merge-based output is not normalized", par)
+					}
+					if baseline == nil {
+						baseline, baseRes = out, res
+						continue
+					}
+					if !out.Equal(baseline) {
+						t.Fatalf("p%d output differs from p1 (%d vs %d tuples)",
+							par, out.Len(), baseline.Len())
+					}
+					if res != baseRes {
+						t.Fatalf("p%d stats differ: %+v vs %+v", par, res, baseRes)
+					}
+				}
+				if mode == core.Strict {
+					if err := core.VerifyCompression(d.VRPs, baseline); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -88,44 +88,68 @@ func compressOne(t *Trie, opts Options) Result {
 // With Options.Mode == Strict (default) the output authorizes exactly the
 // same routes as the input: in particular, compressing a minimal ROA set
 // yields a minimal ROA set ("This 'compressed' ROA is still minimal", §7).
+//
+// The whole pipeline is parallel end to end: each worker of the fixed pool
+// builds a group's trie, compresses it, extracts its tuples into a per-trie
+// run, and releases the trie, so no serial build or extraction phase remains.
+// Each run is emitted in canonical order (trie Walk is a pre-order of the key
+// space and compression never changes keys), and ByOrigin yields groups in
+// canonical Set order, so the runs concatenate into the final Set without the
+// O(n log n) re-sort of rpki.NewSet (see rpki.SetFromSortedRuns). Output is
+// bit-identical at every Parallelism setting.
 func Compress(s *rpki.Set, opts Options) (*rpki.Set, Result) {
-	tries := BuildTries(s)
-	res := Result{In: s.Len(), TrieCount: len(tries)}
-	results := make([]Result, len(tries))
-	if workers := min(opts.Parallelism, len(tries)); workers > 1 {
+	groups := s.ByOrigin()
+	res := Result{In: s.Len(), TrieCount: len(groups)}
+	results := make([]Result, len(groups))
+	runs := make([][]rpki.VRP, len(groups))
+	// process handles one group end to end, appending its tuple run to the
+	// worker-local arena buf (runs alias the arena; a growth reallocation
+	// leaves earlier runs pointing at the old backing array, which stays
+	// valid). The three-index slice keeps runs from overlapping later
+	// appends.
+	process := func(i int, buf []rpki.VRP) []rpki.VRP {
+		t := buildGroupTrie(groups[i])
+		results[i] = compressOne(t, opts)
+		start := len(buf)
+		buf = t.Tuples(buf)
+		runs[i] = buf[start:len(buf):len(buf)]
+		t.Release()
+		return buf
+	}
+	if workers := min(opts.Parallelism, len(groups)); workers > 1 {
 		// Fixed worker pool: exactly `workers` goroutines drain the job
 		// channel, so a full-deployment snapshot never has more than
-		// Parallelism compression goroutines in flight.
+		// Parallelism pipeline goroutines in flight.
+		arenaCap := s.Len()/workers + 1 // output never exceeds input
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				buf := make([]rpki.VRP, 0, arenaCap)
 				for i := range jobs {
-					results[i] = compressOne(tries[i], opts)
+					buf = process(i, buf)
 				}
 			}()
 		}
-		for i := range tries {
+		for i := range groups {
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
 	} else {
-		for i, t := range tries {
-			results[i] = compressOne(t, opts)
+		buf := make([]rpki.VRP, 0, s.Len())
+		for i := range groups {
+			buf = process(i, buf)
 		}
 	}
-	var out []rpki.VRP
-	for i, t := range tries {
-		res.Merged += results[i].Merged
-		res.Subsumed += results[i].Subsumed
-		res.Raised += results[i].Raised
-		out = t.Tuples(out)
-		t.Release()
+	for _, r := range results {
+		res.Merged += r.Merged
+		res.Subsumed += r.Subsumed
+		res.Raised += r.Raised
 	}
-	cs := rpki.NewSet(out)
+	cs := rpki.SetFromSortedRuns(runs)
 	res.Out = cs.Len()
 	return cs, res
 }
@@ -141,6 +165,11 @@ func compressTrie(t *Trie, opts Options) Result {
 	var res Result
 	if opts.Subsumption {
 		res.Subsumed = subsume(t)
+	}
+	var scratch []int32
+	if opts.Mode == Literal {
+		// One BFS queue reused across every nearestPresent call of this trie.
+		scratch = make([]int32, 0, 64)
 	}
 	type frame struct {
 		idx   int32
@@ -173,8 +202,8 @@ func compressTrie(t *Trie, opts Options) Result {
 			l = presentAtDepthPlusOne(t, n.children[0])
 			r = presentAtDepthPlusOne(t, n.children[1])
 		case Literal:
-			l = nearestPresent(t, n.children[0])
-			r = nearestPresent(t, n.children[1])
+			l = nearestPresent(t, n.children[0], &scratch)
+			r = nearestPresent(t, n.children[1], &scratch)
 		}
 		if l < 0 || r < 0 {
 			continue // "if node has both direct children" fails
@@ -217,19 +246,24 @@ func presentAtDepthPlusOne(t *Trie, c int32) int32 {
 // none. When both branches of a structural node hold present descendants at
 // equal minimal depth there is no unique shortest key; we take the left (0)
 // branch's, matching a pre-order scan of the key space.
-func nearestPresent(t *Trie, c int32) int32 {
+//
+// scratch is a caller-owned BFS queue reused across calls (compressTrie holds
+// one per trie); the possibly-grown slice is stored back through the pointer
+// so capacity accumulates instead of being reallocated per present node.
+func nearestPresent(t *Trie, c int32, scratch *[]int32) int32 {
 	if c == noChild {
 		return -1
 	}
-	// BFS by depth to find the minimal-depth present node.
-	queue := make([]int32, 1, 64)
-	queue[0] = c
-	for len(queue) > 0 {
-		i := queue[0]
-		queue = queue[1:]
+	// BFS by depth to find the minimal-depth present node; head indexes into
+	// the queue rather than re-slicing so the backing array keeps its start.
+	queue := append((*scratch)[:0], c)
+	found := int32(-1)
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
 		n := &t.nodes[i]
 		if n.present {
-			return i
+			found = i
+			break
 		}
 		if n.children[0] != noChild {
 			queue = append(queue, n.children[0])
@@ -238,7 +272,8 @@ func nearestPresent(t *Trie, c int32) int32 {
 			queue = append(queue, n.children[1])
 		}
 	}
-	return -1
+	*scratch = queue
+	return found
 }
 
 // subsume deletes every present node whose maxLength does not exceed the

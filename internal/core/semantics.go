@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
@@ -35,8 +36,30 @@ type mtrie struct {
 	fam   prefix.Family
 }
 
+// mslabPool recycles mnode slabs (as *[]mnode) across merged tries, the same
+// free-reuse treatment the engine's slabPool gives Trie slabs: SemanticEqual
+// over a full snapshot builds one mtrie per (AS, family), and without reuse
+// each of those is a fresh slab allocation on every verification run.
+var mslabPool sync.Pool
+
 func newMtrie(fam prefix.Family) *mtrie {
-	return &mtrie{nodes: []mnode{{valA: -1, valB: -1}}, fam: fam}
+	var nodes []mnode
+	if p, _ := mslabPool.Get().(*[]mnode); p != nil {
+		nodes = (*p)[:0]
+	}
+	return &mtrie{nodes: append(nodes, mnode{valA: -1, valB: -1}), fam: fam}
+}
+
+// release returns the mtrie's slab to the pool; the mtrie must not be used
+// afterwards.
+func (m *mtrie) release() {
+	nodes := m.nodes
+	m.nodes = nil
+	if nodes == nil {
+		return
+	}
+	s := nodes[:0]
+	mslabPool.Put(&s)
 }
 
 func (m *mtrie) insert(p prefix.Prefix, maxLength uint8, sideB bool) {
@@ -87,6 +110,11 @@ func SemanticEqual(a, b *rpki.Set) (bool, *Counterexample) {
 		fam prefix.Family
 	}
 	merged := make(map[key]*mtrie)
+	defer func() {
+		for _, m := range merged {
+			m.release()
+		}
+	}()
 	rootFor := func(k key) *mtrie {
 		m, ok := merged[k]
 		if !ok {

@@ -362,17 +362,23 @@ func BuildTries(s *rpki.Set) []*Trie {
 	groups := s.ByOrigin()
 	out := make([]*Trie, 0, len(groups))
 	for _, g := range groups {
-		hint := 1
-		for _, v := range g.VRPs {
-			hint += int(v.Prefix.Len())
-		}
-		t := newTrieCap(g.AS, g.Family, hint)
-		for _, v := range g.VRPs {
-			t.InsertVRP(v)
-		}
-		out = append(out, t)
+		out = append(out, buildGroupTrie(g))
 	}
 	return out
+}
+
+// buildGroupTrie builds the trie for one (AS, family) group, pre-sizing the
+// slab from the group's total prefix bits.
+func buildGroupTrie(g rpki.OriginGroup) *Trie {
+	hint := 1
+	for _, v := range g.VRPs {
+		hint += int(v.Prefix.Len())
+	}
+	t := newTrieCap(g.AS, g.Family, hint)
+	for _, v := range g.VRPs {
+		t.InsertVRP(v)
+	}
+	return t
 }
 
 // ReleaseTries releases every trie in the slice; see (*Trie).Release.

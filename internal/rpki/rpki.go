@@ -12,6 +12,7 @@ package rpki
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 
@@ -165,6 +166,110 @@ func NewSet(vrps []VRP) *Set {
 	s := &Set{vrps: append([]VRP(nil), vrps...)}
 	s.normalize()
 	return s
+}
+
+// debugSortedRuns enables an O(n) per-run order assertion inside
+// SetFromSortedRuns. It is switched on by the package tests (and can be
+// forced via the RPKI_DEBUG environment variable) to catch callers handing
+// over runs that are not actually in canonical order.
+var debugSortedRuns = os.Getenv("RPKI_DEBUG") != ""
+
+// SetFromSortedRuns builds a normalized Set from runs of VRPs that are each
+// already in canonical order (see VRP.Compare). It is the merge-based
+// counterpart of NewSet for producers — like the per-trie tuple extraction
+// of the compression pipeline — whose output is born sorted: instead of
+// re-sorting the concatenation (O(n log n)) it concatenates when the runs
+// are globally ordered end-to-end (the common case: per-(AS, family) runs
+// emitted in canonical group order), falling back to a k-way heap merge when
+// they are not. Exact duplicates are dropped either way. The input slices
+// are not retained.
+//
+// Runs that are internally unsorted violate the contract and yield an
+// unspecified (possibly unnormalized) Set; build with RPKI_DEBUG=1 or run
+// the tests to assert the contract.
+func SetFromSortedRuns(runs [][]VRP) *Set {
+	total := 0
+	ordered := true
+	var last VRP
+	haveLast := false
+	for _, r := range runs {
+		if debugSortedRuns {
+			for i := 1; i < len(r); i++ {
+				if r[i-1].Compare(r[i]) > 0 {
+					panic(fmt.Sprintf("rpki: SetFromSortedRuns run out of order: %s > %s", r[i-1], r[i]))
+				}
+			}
+		}
+		total += len(r)
+		if len(r) == 0 {
+			continue
+		}
+		if haveLast && last.Compare(r[0]) > 0 {
+			ordered = false
+		}
+		last, haveLast = r[len(r)-1], true
+	}
+	out := make([]VRP, 0, total)
+	if ordered {
+		for _, r := range runs {
+			for _, v := range r {
+				if n := len(out); n > 0 && out[n-1] == v {
+					continue
+				}
+				out = append(out, v)
+			}
+		}
+		return &Set{vrps: out}
+	}
+	return &Set{vrps: mergeRuns(runs, out)}
+}
+
+// mergeRuns k-way-merges individually sorted runs into out (dedup inline)
+// using a min-heap of run heads keyed by their next VRP.
+func mergeRuns(runs [][]VRP, out []VRP) []VRP {
+	heads := make([][]VRP, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			heads = append(heads, r)
+		}
+	}
+	// Build the heap: less = first VRP of each remaining run.
+	less := func(a, b []VRP) bool { return a[0].Compare(b[0]) < 0 }
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(heads, i, less)
+	}
+	for len(heads) > 0 {
+		v := heads[0][0]
+		if n := len(out); n == 0 || out[n-1] != v {
+			out = append(out, v)
+		}
+		if rest := heads[0][1:]; len(rest) > 0 {
+			heads[0] = rest
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(heads, 0, less)
+	}
+	return out
+}
+
+func siftDown(h [][]VRP, i int, less func(a, b []VRP) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && less(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && less(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // SetFromROAs expands a slice of ROAs into a normalized Set.

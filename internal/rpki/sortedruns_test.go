@@ -1,0 +1,110 @@
+package rpki
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/prefix"
+)
+
+// randomVRPs generates n random IPv4 VRPs over a handful of ASes, with
+// duplicates likely.
+func randomVRPs(rng *rand.Rand, n int) []VRP {
+	out := make([]VRP, 0, n)
+	for i := 0; i < n; i++ {
+		l := uint8(4 + rng.Intn(20))
+		p, err := prefix.Make(prefix.IPv4, rng.Uint64()&0xff00000000000000, 0, l)
+		if err != nil {
+			panic(err)
+		}
+		ml := l + uint8(rng.Intn(3))
+		if ml > 32 {
+			ml = 32
+		}
+		out = append(out, VRP{Prefix: p, MaxLength: ml, AS: ASN(rng.Intn(4))})
+	}
+	return out
+}
+
+// TestSetFromSortedRunsMatchesNewSet is the differential test pinning the
+// merge-based constructor against the sort-based NewSet: for any collection
+// of individually sorted runs, SetFromSortedRuns must equal NewSet of the
+// concatenation — on both the globally-ordered concatenation path and the
+// k-way merge fallback.
+func TestSetFromSortedRunsMatchesNewSet(t *testing.T) {
+	old := debugSortedRuns
+	debugSortedRuns = true
+	defer func() { debugSortedRuns = old }()
+
+	rng := rand.New(rand.NewSource(7))
+	sortRun := func(r []VRP) {
+		sort.Slice(r, func(i, j int) bool { return r[i].Compare(r[j]) < 0 })
+	}
+	for trial := 0; trial < 200; trial++ {
+		vrps := randomVRPs(rng, rng.Intn(120))
+		k := 1 + rng.Intn(6)
+		var runs [][]VRP
+		if trial%2 == 0 {
+			// Globally ordered runs: sort the whole list, split at random
+			// boundaries (duplicates may straddle a boundary).
+			sorted := append([]VRP(nil), vrps...)
+			sortRun(sorted)
+			for len(sorted) > 0 {
+				cut := 1 + rng.Intn(len(sorted))
+				runs = append(runs, sorted[:cut])
+				sorted = sorted[cut:]
+			}
+			if rng.Intn(3) == 0 {
+				runs = append(runs, nil) // empty run is legal
+			}
+		} else {
+			// Unordered runs: deal VRPs into k buckets, sort each — the
+			// concatenation is not globally ordered, forcing the merge path.
+			buckets := make([][]VRP, k)
+			for _, v := range vrps {
+				b := rng.Intn(k)
+				buckets[b] = append(buckets[b], v)
+			}
+			for _, b := range buckets {
+				sortRun(b)
+				runs = append(runs, b)
+			}
+		}
+		var all []VRP
+		for _, r := range runs {
+			all = append(all, r...)
+		}
+		want := NewSet(all)
+		got := SetFromSortedRuns(runs)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: SetFromSortedRuns diverged from NewSet\ngot:  %v\nwant: %v",
+				trial, got.VRPs(), want.VRPs())
+		}
+	}
+}
+
+func TestSetFromSortedRunsEmpty(t *testing.T) {
+	if s := SetFromSortedRuns(nil); s.Len() != 0 {
+		t.Fatalf("nil runs -> %d tuples", s.Len())
+	}
+	if s := SetFromSortedRuns([][]VRP{nil, {}, nil}); s.Len() != 0 {
+		t.Fatalf("empty runs -> %d tuples", s.Len())
+	}
+}
+
+func TestSetFromSortedRunsDebugAssertion(t *testing.T) {
+	old := debugSortedRuns
+	debugSortedRuns = true
+	defer func() { debugSortedRuns = old }()
+	bad := [][]VRP{{
+		{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 2},
+		{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 1}, // out of order
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("debug assertion did not fire on an unsorted run")
+		}
+	}()
+	SetFromSortedRuns(bad)
+}

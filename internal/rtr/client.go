@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/rpki"
 )
@@ -26,6 +27,10 @@ type Client struct {
 	// last sync.
 	notifySerial uint32
 	notified     bool
+	// refresh/retry/expire hold the timers from the most recent version-1
+	// End of Data PDU (seconds); haveTimers reports whether one was seen.
+	refresh, retry, expire uint32
+	haveTimers             bool
 }
 
 // Dial connects to a cache at addr ("host:port").
@@ -44,6 +49,27 @@ func NewClient(nc net.Conn) *Client {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// SetReadDeadline sets the deadline for reads on the underlying connection;
+// the zero time clears it. The Poller uses an already-passed deadline to
+// kick a blocked WaitNotify off the connection when its Refresh interval
+// expires without a Serial Notify.
+func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Timers returns the Refresh/Retry/Expire intervals advertised by the cache
+// in the most recent version-1 End of Data PDU. ok is false when none has
+// been seen (no completed sync yet, or the cache speaks version 0, whose End
+// of Data carries no timers).
+func (c *Client) Timers() (refresh, retry, expire time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haveTimers {
+		return 0, 0, 0, false
+	}
+	return time.Duration(c.refresh) * time.Second,
+		time.Duration(c.retry) * time.Second,
+		time.Duration(c.expire) * time.Second, true
+}
 
 // Serial returns the serial of the last completed sync.
 func (c *Client) Serial() uint32 {
@@ -169,7 +195,7 @@ func (c *Client) readUpdate(full bool) error {
 	staged := make(map[rpki.VRP]struct{})
 	var withdrawals []rpki.VRP
 	for {
-		pdu, _, err := ReadPDU(c.conn)
+		pdu, version, err := ReadPDU(c.conn)
 		if err != nil {
 			return err
 		}
@@ -203,6 +229,10 @@ func (c *Client) readUpdate(full bool) error {
 			c.sessionID = session
 			c.serial = p.Serial
 			c.haveState = true
+			if version == Version1 {
+				c.refresh, c.retry, c.expire = p.Refresh, p.Retry, p.Expire
+				c.haveTimers = true
+			}
 			c.mu.Unlock()
 			return nil
 		case *ErrorReport:

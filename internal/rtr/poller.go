@@ -6,30 +6,40 @@ import (
 	"time"
 )
 
-// Poller drives a Client through the RFC 8210 timer state machine: sync,
+// Poller drives a Client through the RFC 8210 §6 timer state machine: sync,
 // then wait for Serial Notify or the Refresh interval (whichever first),
 // falling back to the Retry interval on errors, and declaring the data
 // expired — unusable for validation — once the Expire interval passes
 // without a successful sync.
 //
-// The zero timers are filled from the cache's End of Data PDU after the
-// first sync, or from RFC 8210's suggested defaults.
+// The configured timers are fallbacks: after every successful sync the
+// poller adopts the Refresh/Retry/Expire values the cache advertised in its
+// version-1 End of Data PDU (see Client.Timers), as §6 prescribes. Version-0
+// caches advertise none, so the configured values (RFC 8210's suggested
+// defaults from NewPoller) stay in force.
 type Poller struct {
 	Client *Client
 	// OnUpdate, when set, is invoked after every successful sync with the
 	// new serial. Called on the poller goroutine.
 	OnUpdate func(serial uint32)
-	// Refresh/Retry are fallbacks until the cache advertises its own.
+	// Refresh/Retry/Expire are fallbacks until the cache advertises its own.
+	// They are overwritten by adopted End of Data values; read them only
+	// before Run or after Stop.
 	Refresh time.Duration
 	Retry   time.Duration
 	Expire  time.Duration
 
 	mu       sync.Mutex
 	lastSync time.Time
-	healthy  bool
+	synced   bool // at least one successful sync
 	stopped  bool
 	stopCh   chan struct{}
 	doneCh   chan struct{}
+
+	// nowFn/afterFn are the poller's clock, overridable by tests (fake
+	// clock); nil means time.Now / time.After.
+	nowFn   func() time.Time
+	afterFn func(time.Duration) <-chan time.Time
 }
 
 // NewPoller wraps a connected client with RFC 8210 default timers.
@@ -44,13 +54,35 @@ func NewPoller(c *Client) *Poller {
 	}
 }
 
+func (p *Poller) timeNow() time.Time {
+	if p.nowFn != nil {
+		return p.nowFn()
+	}
+	return time.Now()
+}
+
+func (p *Poller) timerAfter(d time.Duration) <-chan time.Time {
+	if p.afterFn != nil {
+		return p.afterFn(d)
+	}
+	return time.After(d)
+}
+
 // Healthy reports whether the poller has synced within the Expire window;
-// when false, RFC 8210 §6 says the router must stop using the data.
+// when false, RFC 8210 §6 says the router must stop using the data. A failed
+// sync alone does not flip Healthy: per §6 the data remains usable until the
+// Expire interval passes without a successful sync.
 func (p *Poller) Healthy() bool {
+	now := p.timeNow()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.healthy && time.Since(p.lastSync) < p.Expire
+	return p.synced && now.Sub(p.lastSync) < p.Expire
 }
+
+// expired reports whether the Expire window has passed with no successful
+// sync (or none has ever succeeded) — the negation of Healthy, kept as one
+// predicate.
+func (p *Poller) expired() bool { return !p.Healthy() }
 
 // LastSync returns the time of the last successful synchronization.
 func (p *Poller) LastSync() time.Time {
@@ -59,19 +91,72 @@ func (p *Poller) LastSync() time.Time {
 	return p.lastSync
 }
 
-// Run drives the state machine until Stop is called or an unrecoverable
-// connection error occurs; it returns the terminating error (nil on Stop).
-// Run performs the initial sync itself.
+// retryInterval returns the current Retry timer value.
+func (p *Poller) retryInterval() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Retry
+}
+
+// refreshInterval returns the current Refresh timer value.
+func (p *Poller) refreshInterval() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Refresh
+}
+
+// adoptTimers copies the cache's End of Data timers over the configured
+// fallbacks after a successful sync, ignoring zero (unadvertised) values.
+func (p *Poller) adoptTimers() {
+	refresh, retry, expire, ok := p.Client.Timers()
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if refresh > 0 {
+		p.Refresh = refresh
+	}
+	if retry > 0 {
+		p.Retry = retry
+	}
+	if expire > 0 {
+		p.Expire = expire
+	}
+}
+
+// Run drives the state machine until Stop is called: sync, then wait for a
+// Serial Notify or the Refresh interval (whichever fires first) and sync
+// again. A failed sync is retried on the Retry interval for as long as the
+// data is within its Expire window; once the window passes with every retry
+// failing — or when the initial sync fails — Run returns the error, since
+// the Client cannot re-dial and the caller must reconnect. Run performs the
+// initial sync itself and returns nil when stopped.
 func (p *Poller) Run() error {
 	defer close(p.doneCh)
-	if err := p.syncOnce(); err != nil {
-		if p.isStopped() {
-			return nil
-		}
-		return err
-	}
 	for {
-		// Wait for a notify in a helper goroutine so Stop can interrupt.
+		if err := p.syncOnce(); err != nil {
+			if p.isStopped() {
+				return nil
+			}
+			if p.expired() {
+				// Expired data and an unreachable cache: surface the error
+				// so the caller can reconnect with a fresh Client.
+				return err
+			}
+			// Error → retry timer: wait out the Retry interval, then fall
+			// through to another sync attempt.
+			select {
+			case <-p.stopCh:
+				return nil
+			case <-p.timerAfter(p.retryInterval()):
+			}
+			continue
+		}
+		p.adoptTimers()
+		// Idle: await a Serial Notify in a helper goroutine (so Stop and the
+		// refresh timer can interrupt) or the Refresh interval, whichever
+		// fires first. Either way the next step is a sync.
 		notifyCh := make(chan error, 1)
 		go func() {
 			_, err := p.Client.WaitNotify()
@@ -79,22 +164,27 @@ func (p *Poller) Run() error {
 		}()
 		select {
 		case <-p.stopCh:
-			p.Client.Close() // unblocks the reader
+			// Stop closed the connection; the reader is unblocking.
 			<-notifyCh
 			return nil
 		case err := <-notifyCh:
-			if err != nil {
-				if p.isStopped() {
-					return nil
-				}
-				return err
-			}
-		}
-		if err := p.syncOnce(); err != nil {
 			if p.isStopped() {
 				return nil
 			}
-			return err
+			// A notify triggers an immediate sync. A read error means the
+			// connection is in trouble: the sync attempt below surfaces it
+			// and enters the retry path.
+			_ = err
+		case <-p.timerAfter(p.refreshInterval()):
+			// Refresh expired with no notify: kick the blocked reader off
+			// the connection with an already-passed read deadline so the
+			// sync below owns the connection again.
+			p.Client.SetReadDeadline(time.Unix(1, 0))
+			<-notifyCh
+			p.Client.SetReadDeadline(time.Time{})
+			if p.isStopped() {
+				return nil
+			}
 		}
 	}
 }
@@ -102,14 +192,12 @@ func (p *Poller) Run() error {
 func (p *Poller) syncOnce() error {
 	serial, err := p.Client.Sync()
 	if err != nil {
-		p.mu.Lock()
-		p.healthy = false
-		p.mu.Unlock()
 		return err
 	}
+	now := p.timeNow()
 	p.mu.Lock()
-	p.lastSync = time.Now()
-	p.healthy = true
+	p.lastSync = now
+	p.synced = true
 	p.mu.Unlock()
 	if p.OnUpdate != nil {
 		p.OnUpdate(serial)
@@ -117,7 +205,8 @@ func (p *Poller) syncOnce() error {
 	return nil
 }
 
-// Stop terminates Run and waits for it to return.
+// Stop terminates Run and waits for it to return. It closes the client's
+// connection to unblock any in-flight read.
 func (p *Poller) Stop() {
 	p.mu.Lock()
 	if p.stopped {
@@ -128,6 +217,7 @@ func (p *Poller) Stop() {
 	p.stopped = true
 	close(p.stopCh)
 	p.mu.Unlock()
+	p.Client.Close()
 	<-p.doneCh
 }
 

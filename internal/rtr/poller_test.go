@@ -1,0 +1,175 @@
+package rtr
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable clock for poller tests: every timerAfter call
+// is surfaced on reqs, and the test fires timers explicitly, advancing Now by
+// the timer's duration.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	reqs chan fakeTimer
+}
+
+type fakeTimer struct {
+	d  time.Duration
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0), reqs: make(chan fakeTimer, 16)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) After(d time.Duration) <-chan time.Time {
+	t := fakeTimer{d: d, ch: make(chan time.Time, 1)}
+	f.reqs <- t
+	return t.ch
+}
+
+// fire advances the clock past the timer's deadline and fires it.
+func (f *fakeClock) fire(t fakeTimer) {
+	f.mu.Lock()
+	f.now = f.now.Add(t.d)
+	now := f.now
+	f.mu.Unlock()
+	t.ch <- now
+}
+
+// nextTimer returns the next armed timer or fails the test after a timeout.
+func (f *fakeClock) nextTimer(t *testing.T) fakeTimer {
+	t.Helper()
+	select {
+	case tm := <-f.reqs:
+		return tm
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller armed no timer")
+		return fakeTimer{}
+	}
+}
+
+// TestPollerRefreshAndRetryFakeClock drives the RFC 8210 state machine over
+// a scripted cache with a fake clock: the initial sync adopts the cache's
+// End of Data timers; with no Serial Notify ever sent, the Refresh timer
+// triggers a sync; that sync fails and the poller waits out the Retry timer;
+// the retry then succeeds.
+func TestPollerRefreshAndRetryFakeClock(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	c := NewClient(cliConn)
+	fc := newFakeClock()
+	p := NewPoller(c)
+	p.nowFn = fc.Now
+	p.afterFn = fc.After
+	updates := make(chan uint32, 8)
+	p.OnUpdate = func(s uint32) { updates <- s }
+
+	const session = 0x1234
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			// 1) Initial sync: the stateless client sends a Reset Query.
+			pdu, _, err := ReadPDU(srvConn)
+			if err != nil {
+				return err
+			}
+			if _, ok := pdu.(*ResetQuery); !ok {
+				return fmt.Errorf("expected Reset Query, got %T", pdu)
+			}
+			if err := WritePDU(srvConn, Version1, &CacheResponse{SessionID: session}); err != nil {
+				return err
+			}
+			if err := WritePDU(srvConn, Version1, &EndOfData{
+				SessionID: session, Serial: 7, Refresh: 1800, Retry: 300, Expire: 3600,
+			}); err != nil {
+				return err
+			}
+			// 2) Refresh-triggered sync: fail it with an Error Report.
+			pdu, _, err = ReadPDU(srvConn)
+			if err != nil {
+				return err
+			}
+			if q, ok := pdu.(*SerialQuery); !ok || q.Serial != 7 {
+				return fmt.Errorf("expected Serial Query for 7, got %#v", pdu)
+			}
+			if err := WritePDU(srvConn, Version1, &ErrorReport{
+				Code: ErrInternalError, Text: "transient failure",
+			}); err != nil {
+				return err
+			}
+			// 3) Retry sync: succeed with an empty incremental update.
+			pdu, _, err = ReadPDU(srvConn)
+			if err != nil {
+				return err
+			}
+			if q, ok := pdu.(*SerialQuery); !ok || q.Serial != 7 {
+				return fmt.Errorf("expected retry Serial Query for 7, got %#v", pdu)
+			}
+			if err := WritePDU(srvConn, Version1, &CacheResponse{SessionID: session}); err != nil {
+				return err
+			}
+			return WritePDU(srvConn, Version1, &EndOfData{
+				SessionID: session, Serial: 8, Refresh: 1800, Retry: 300, Expire: 3600,
+			})
+		}()
+	}()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- p.Run() }()
+
+	if s := <-updates; s != 7 {
+		t.Fatalf("initial sync serial = %d, want 7", s)
+	}
+	// Idle: the poller must arm the *adopted* Refresh interval, not the
+	// configured default.
+	timer := fc.nextTimer(t)
+	if timer.d != 1800*time.Second {
+		t.Fatalf("refresh timer = %v, want 30m0s (adopted from End of Data)", timer.d)
+	}
+	// No Serial Notify arrives; firing Refresh must trigger a sync, which
+	// the cache fails.
+	fc.fire(timer)
+	timer = fc.nextTimer(t)
+	if timer.d != 300*time.Second {
+		t.Fatalf("retry timer = %v, want 5m0s (adopted from End of Data)", timer.d)
+	}
+	// RFC 8210 §6: one failed sync must NOT discard the data — only the
+	// Expire window does. 1800s have passed of the 3600s window.
+	if !p.Healthy() {
+		t.Fatal("failed sync discarded data still inside the Expire window")
+	}
+	// Firing Retry must trigger another sync, which succeeds.
+	fc.fire(timer)
+	if s := <-updates; s != 8 {
+		t.Fatalf("retried sync serial = %d, want 8", s)
+	}
+	if !p.Healthy() {
+		t.Fatal("poller unhealthy after successful retry")
+	}
+	// Back to idle: Refresh armed again.
+	timer = fc.nextTimer(t)
+	if timer.d != 1800*time.Second {
+		t.Fatalf("re-armed refresh timer = %v, want 30m0s", timer.d)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("scripted cache: %v", err)
+	}
+	p.Stop()
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v after Stop", err)
+	}
+	if p.Refresh != 1800*time.Second || p.Retry != 300*time.Second || p.Expire != 3600*time.Second {
+		t.Fatalf("timers not adopted: refresh=%v retry=%v expire=%v", p.Refresh, p.Retry, p.Expire)
+	}
+}

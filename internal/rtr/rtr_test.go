@@ -239,6 +239,114 @@ func TestServerReportsCorruptPDU(t *testing.T) {
 	}
 }
 
+// TestServerReportsUnsupportedVersion: a PDU with a bogus version byte must
+// still be answered with an Error Report — sent with the connection's
+// negotiated (default) version, since serializing with the peer's bogus byte
+// is impossible.
+func TestServerReportsUnsupportedVersion(t *testing.T) {
+	srv := NewServer(testVRPs())
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A Reset Query header with version byte 9.
+	if _, err := nc.Write([]byte{9, 2, 0, 0, 0, 0, 0, 8}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pdu, version, err := ReadPDU(nc)
+	if err != nil {
+		t.Fatalf("no Error Report came back: %v", err)
+	}
+	er, ok := pdu.(*ErrorReport)
+	if !ok || er.Code != ErrUnsupportedVersion {
+		t.Fatalf("got %T %+v, want unsupported-version ErrorReport", pdu, pdu)
+	}
+	if version != Version1 {
+		t.Errorf("Error Report version = %d, want the default %d", version, Version1)
+	}
+}
+
+// serialQueryResponse dials the server, issues one Serial Query, and returns
+// every PDU up to and including the Cache Reset or End of Data terminator.
+func serialQueryResponse(t *testing.T, addr string, session uint16, serial uint32) []PDU {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := WritePDU(nc, Version1, &SerialQuery{SessionID: session, Serial: serial}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var pdus []PDU
+	for {
+		pdu, _, err := ReadPDU(nc)
+		if err != nil {
+			t.Fatalf("reading serial-query response: %v", err)
+		}
+		pdus = append(pdus, pdu)
+		switch pdu.(type) {
+		case *CacheReset, *EndOfData:
+			return pdus
+		}
+	}
+}
+
+// TestKeepDeltasEvictionBoundary pins the delta-retention window: with
+// KeepDeltas = k, the oldest router serial still answerable incrementally is
+// current-k-1; one serial older than that needs an evicted delta and must
+// get Cache Reset.
+func TestKeepDeltasEvictionBoundary(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	srv.KeepDeltas = 3
+	cur := set
+	for i := 0; i < 5; i++ { // serial 1 -> 6; deltas for 3..6 retained
+		cur = rpki.NewSet(append(cur.VRPs(),
+			rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(8 + i), AS: rpki.ASN(100 + i)}))
+		srv.UpdateSet(cur)
+	}
+	addr, stop := startServer(t, srv)
+	defer stop()
+	session := srv.SessionID()
+
+	// Serial 2 needs the chain 3..6 — all retained: incremental update with
+	// one announcement per delta.
+	pdus := serialQueryResponse(t, addr, session, 2)
+	if _, ok := pdus[0].(*CacheResponse); !ok {
+		t.Fatalf("in-window query: first PDU is %T, want Cache Response", pdus[0])
+	}
+	announces := 0
+	for _, p := range pdus {
+		if pp, ok := p.(*Prefix); ok && pp.Flags&FlagAnnounce != 0 {
+			announces++
+		}
+	}
+	if announces != 4 {
+		t.Fatalf("in-window query: %d announcements, want 4", announces)
+	}
+	eod, ok := pdus[len(pdus)-1].(*EndOfData)
+	if !ok || eod.Serial != srv.Serial() {
+		t.Fatalf("in-window query: terminator %T %+v, want End of Data at serial %d",
+			pdus[len(pdus)-1], pdus[len(pdus)-1], srv.Serial())
+	}
+
+	// Serial 1 needs the evicted delta 2: Cache Reset.
+	pdus = serialQueryResponse(t, addr, session, 1)
+	if len(pdus) != 1 {
+		t.Fatalf("one-past-window query: got %d PDUs, want a lone Cache Reset", len(pdus))
+	}
+	if _, ok := pdus[0].(*CacheReset); !ok {
+		t.Fatalf("one-past-window query: got %T, want Cache Reset", pdus[0])
+	}
+}
+
 func TestDiffSets(t *testing.T) {
 	a := rpki.NewSet([]rpki.VRP{
 		{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 1},

@@ -104,6 +104,9 @@ func TestPollerLifecycle(t *testing.T) {
 func TestPollerExpiry(t *testing.T) {
 	set := testVRPs()
 	srv := NewServer(set)
+	// The poller adopts the cache's advertised timers after each sync, so
+	// the short Expire must come from the server's End of Data PDU.
+	srv.Expire = 1
 	addr, stop := startServer(t, srv)
 	defer stop()
 	c, err := Dial(addr)
@@ -111,7 +114,6 @@ func TestPollerExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := NewPoller(c)
-	p.Expire = 10 * time.Millisecond
 	errCh := make(chan error, 1)
 	go func() { errCh <- p.Run() }()
 	waitFor(t, func() bool { return !p.LastSync().IsZero() })

@@ -213,9 +213,22 @@ func (s *Server) handle(nc net.Conn) {
 		if err != nil {
 			var pe *ProtocolError
 			if errors.As(err, &pe) {
-				_ = c.send(version, &ErrorReport{Code: pe.Code, Text: pe.Msg})
+				// Reply with a version WritePDU accepts: the version byte
+				// ReadPDU returned is the peer's own, which for an
+				// unsupported-version PDU is the bogus byte itself and would
+				// make WritePDU reject our Error Report. Fall back to the
+				// connection's negotiated (or default) version.
+				v := version
+				if v != Version0 && v != Version1 {
+					c.mu.Lock()
+					v = c.version
+					c.mu.Unlock()
+				}
+				if serr := c.send(v, &ErrorReport{Code: pe.Code, Text: pe.Msg}); serr != nil {
+					s.logf("rtr server: error report: %v", serr)
+				}
 			}
-			if err != nil && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, net.ErrClosed) {
 				s.logf("rtr server: read: %v", err)
 			}
 			return
@@ -238,10 +251,12 @@ func (s *Server) handle(nc net.Conn) {
 			s.logf("rtr server: router reported error %d: %s", q.Code, q.Text)
 			return
 		default:
-			_ = c.send(version, &ErrorReport{
+			if serr := c.send(version, &ErrorReport{
 				Code: ErrInvalidRequest,
 				Text: fmt.Sprintf("unexpected PDU type %d from router", pdu.Type()),
-			})
+			}); serr != nil {
+				s.logf("rtr server: error report: %v", serr)
+			}
 			return
 		}
 	}
