@@ -23,16 +23,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the in-package core benchmarks plus the paper-evaluation
-# benches; -count=1 defeats test caching so numbers are always fresh.
-bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -count=1 ./internal/core/ .
+# BENCH_JSON is where bench archives its parsed results (committed to the
+# repo so the perf trajectory across PRs is tracked in-tree).
+BENCH_JSON ?= BENCH_PR3.json
 
-# bench-smoke is the quick pipeline-regression gate CI runs: the core micro
-# benches and the headline compression bench at a handful of iterations.
+# bench runs the in-package core and rov benchmarks plus the paper-evaluation
+# benches; -count=1 defeats test caching so numbers are always fresh. The raw
+# output is parsed into $(BENCH_JSON) by cmd/benchjson.
+bench:
+	@rm -f bench.out
+	$(GO) test -run='^$$' -bench=. -benchmem -count=1 ./internal/core/ ./internal/rov/ . > bench.out 2>&1; \
+		status=$$?; cat bench.out; \
+		if [ $$status -ne 0 ]; then rm -f bench.out; exit $$status; fi
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON)
+	@rm -f bench.out
+
+# bench-smoke is the quick pipeline-regression gate CI runs: the core and rov
+# micro benches and the headline compression bench at a handful of iterations.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem -count=1 ./internal/core/
+	$(GO) test -run='^$$' -bench=. -benchtime=10x -benchmem -count=1 ./internal/core/ ./internal/rov/
 	$(GO) test -run='^$$' -bench='^(BenchmarkFigure2|BenchmarkCompressToday)$$' -benchtime=3x -benchmem -count=1 .
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTrieVsReference -fuzztime=30s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzIndex -fuzztime=30s ./internal/rov/

@@ -261,6 +261,83 @@ func BenchmarkAblationROVIndex(b *testing.B) {
 	})
 }
 
+// BenchmarkIndexBuild measures constructing the ROV serving index over the
+// paper-scale snapshot — the cost a router pays to (re)build its validation
+// state from a full cache sync.
+func BenchmarkIndexBuild(b *testing.B) {
+	d := getHeadline(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := rov.NewIndex(d.VRPs)
+		if ix.Len() != d.VRPs.Len() {
+			b.Fatalf("index holds %d of %d VRPs", ix.Len(), d.VRPs.Len())
+		}
+	}
+}
+
+// BenchmarkIndexValidateBatch measures bulk origin validation over the
+// paper-scale index — the serving path a router runs across its whole RIB
+// after a table update. ns/op is per batch of 1000 routes.
+func BenchmarkIndexValidateBatch(b *testing.B) {
+	d := getHeadline(b)
+	ix := rov.NewIndex(d.VRPs)
+	rts := d.Table.Routes()[:1000]
+	routes := make([]rov.Route, len(rts))
+	for i, q := range rts {
+		routes[i] = rov.Route{Prefix: q.Prefix, Origin: q.Origin}
+	}
+	dst := make([]rov.State, len(routes))
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = ix.ValidateBatch(routes, dst)
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = ix.ValidateBatchParallel(routes, dst, 4)
+		}
+	})
+}
+
+// BenchmarkLiveIndexDelta measures applying RTR deltas in place to a live
+// index over the paper-scale snapshot. Each iteration announces k fresh
+// VRPs and withdraws them again; ns/op must scale with k (the delta), not
+// with the ~40k-VRP table — compare against BenchmarkIndexBuild, the cost
+// the old rebuild-per-update pipeline paid for any delta size.
+func BenchmarkLiveIndexDelta(b *testing.B) {
+	d := getHeadline(b)
+	for _, k := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("delta%d", k), func(b *testing.B) {
+			live := rov.NewLiveIndex(d.VRPs)
+			delta := make([]rpki.VRP, k)
+			for i := range delta {
+				// 198.18.0.0/15 (benchmarking space, RFC 2544) is absent from
+				// the synthetic snapshot, so every announce is a real insert.
+				p, err := prefix.Make(prefix.IPv4,
+					(uint64(0xc612)<<48)|uint64(i)<<34, 0, 30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				delta[i] = rpki.VRP{Prefix: p, MaxLength: 30, AS: 64500}
+			}
+			base := live.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				live.Apply(delta, nil)
+				live.Apply(nil, delta)
+			}
+			b.StopTimer()
+			if live.Len() != base {
+				b.Fatalf("table drifted: %d -> %d VRPs", base, live.Len())
+			}
+		})
+	}
+}
+
 func BenchmarkMinimalize(b *testing.B) {
 	d := getHeadline(b)
 	b.ReportAllocs()

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark result, so benchmark runs can be
+// committed and diffed in-repo (make bench writes BENCH_PR3.json with it).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH.json
+//	benchjson -in bench.out -out BENCH.json
+//
+// Standard fields (ns/op, B/op, allocs/op) get their own keys; any extra
+// b.ReportMetric units land in "metrics". Lines that are not benchmark
+// results (pkg:, cpu:, PASS, ...) are skipped, except that pkg: lines set
+// the "package" of subsequent results. benchjson exits nonzero when the
+// input contains no benchmark results at all.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Package     string             `json:"package,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	inPath := flag.String("in", "", "input file (default stdin)")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark results in input")
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *outPath)
+}
+
+func parse(in io.Reader) ([]result, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []result
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if p, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo --- FAIL"
+		}
+		r := result{Package: pkg, Name: trimProcs(fields[0]), Iterations: iters}
+		// The tail is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			val := v
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = &val
+			case "B/op":
+				r.BytesPerOp = &val
+			case "allocs/op":
+				r.AllocsPerOp = &val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark names.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

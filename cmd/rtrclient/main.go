@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/rov"
 	"repro/internal/rpki"
 	"repro/internal/rtr"
 )
@@ -38,6 +39,12 @@ func main() {
 	default:
 		log.Fatalf("rtrclient: bad -version %d", *version)
 	}
+	// The validation index follows the protocol's deltas in place (O(delta)
+	// per update) instead of being rebuilt from the table after every sync.
+	live := rov.NewLiveIndex(rpki.NewSet(nil))
+	c.OnDelta = func(announced, withdrawn []rpki.VRP) {
+		live.Apply(announced, withdrawn)
+	}
 	serial, err := c.Sync()
 	if err != nil {
 		log.Fatalf("rtrclient: sync: %v", err)
@@ -59,7 +66,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rtrclient: sync: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs\n",
-			notified, serial, c.Len())
+		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs (live index updated in place)\n",
+			notified, serial, live.Len())
 	}
 }

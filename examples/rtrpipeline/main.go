@@ -58,6 +58,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer router.Close()
+	// The router's validation table is a live index fed by the protocol's
+	// deltas: every sync — the initial full one included — flows through
+	// OnDelta and applies in O(delta), never rebuilding the index.
+	live := rov.NewLiveIndex(rpki.NewSet(nil))
+	router.OnDelta = func(announced, withdrawn []rpki.VRP) {
+		live.Apply(announced, withdrawn)
+	}
 	serial, err := router.Sync()
 	if err != nil {
 		log.Fatal(err)
@@ -65,13 +72,12 @@ func main() {
 	fmt.Printf("router: synchronized %d VRPs at serial %d\n", router.Len(), serial)
 
 	// 5. The router validates announcements with its synchronized table.
-	ix := rov.NewIndex(router.Set())
 	hijack := prefix.MustParse("168.122.0.0/24")
 	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (maxLength ROA leaves it Valid!)\n",
-		hijack, ix.Validate(hijack, 111))
+		hijack, live.Validate(hijack, 111))
 
 	// 6. The operator hardens the ROA to a minimal one; the cache pushes an
-	//    incremental update; the router revalidates.
+	//    incremental update; the router's live index follows the delta.
 	minimal := rpki.NewSet([]rpki.VRP{
 		{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
 		{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
@@ -85,10 +91,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("router: incremental update to serial %d (%d VRPs)\n", serial, router.Len())
-	ix = rov.NewIndex(router.Set())
+	fmt.Printf("router: incremental update to serial %d (%d VRPs, index updated in place)\n",
+		serial, live.Len())
 	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (hardened: now Invalid)\n",
-		hijack, ix.Validate(hijack, 111))
+		hijack, live.Validate(hijack, 111))
 }
 
 func buildRepository() (string, error) {

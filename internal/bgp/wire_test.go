@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/prefix"
-	"repro/internal/rov"
 	"repro/internal/rpki"
 )
 
@@ -164,12 +163,14 @@ func TestSpeakerSessionWithROV(t *testing.T) {
 	attacker := NewSpeaker(client, 666, 0x0a000002)
 	victimSide := NewSpeaker(server, 64500, 0x0a000001)
 
-	// The validating peer has the §4 non-minimal ROA for AS 111.
-	ix := rov.NewIndex(rpki.NewSet([]rpki.VRP{
-		{Prefix: mp("168.122.0.0/16"), MaxLength: 24, AS: 111},
-	}))
+	// The validating peer has the §4 non-minimal ROA for AS 111. The RFC 6811
+	// check is inlined (one VRP) rather than importing rov, whose arena index
+	// now builds on internal/core — which imports this package for its BGP
+	// table model, so the test would close an import cycle.
+	vrp := rpki.VRP{Prefix: mp("168.122.0.0/16"), MaxLength: 24, AS: 111}
 	accept := func(a Announcement) bool {
-		return ix.Validate(a.Prefix, a.Origin()) != rov.Invalid
+		invalid := vrp.Covers(a.Prefix) && !vrp.Matches(a.Prefix, a.Origin())
+		return !invalid
 	}
 
 	done := make(chan error, 2)

@@ -74,12 +74,25 @@ type Outcome struct {
 // filtering. Announcements of the same prefix compete; distinct prefixes
 // propagate independently (BGP keeps per-prefix state).
 func Simulate(t *Topology, anns []Announcement, cfg Config) *Outcome {
-	var ix *rov.Index
+	// An announcement's validation state is loop-invariant — it depends only
+	// on (prefix, claimed origin), never on the node or the round — so
+	// classify every announcement once up front with one batch instead of
+	// re-validating inside the Bellman–Ford fixpoint (which visits each
+	// announcement O(nodes × rounds) times).
+	var invalid []bool
 	if cfg.VRPs != nil {
-		ix = rov.NewIndex(cfg.VRPs)
+		ix := rov.NewIndex(cfg.VRPs)
+		routes := make([]rov.Route, len(anns))
+		for i, a := range anns {
+			routes[i] = rov.Route{Prefix: a.Prefix, Origin: a.ClaimedOrigin()}
+		}
+		invalid = make([]bool, len(anns))
+		for i, s := range ix.ValidateBatch(routes, nil) {
+			invalid[i] = s == rov.Invalid
+		}
 	}
 	validators := int(cfg.ValidatingShare * float64(t.N()))
-	validates := func(node int) bool { return ix != nil && node < validators }
+	validates := func(node int) bool { return invalid != nil && node < validators }
 
 	// Group announcements by prefix.
 	groupOf := map[prefix.Prefix]int{}
@@ -98,7 +111,7 @@ func Simulate(t *Topology, anns []Announcement, cfg Config) *Outcome {
 
 	out := &Outcome{topo: t, anns: anns, prefixes: prefixes, routes: make([][]route, len(prefixes))}
 	for g, annIdx := range groups {
-		out.routes[g] = simulatePrefix(t, anns, annIdx, ix, validates)
+		out.routes[g] = simulatePrefix(t, anns, annIdx, invalid, validates)
 	}
 	return out
 }
@@ -106,7 +119,7 @@ func Simulate(t *Topology, anns []Announcement, cfg Config) *Outcome {
 // simulatePrefix runs Bellman-Ford-style rounds to a fixpoint for one
 // prefix's competing announcements. The preference order is total and the
 // candidate space finite, so iteration converges in the Gao–Rexford model.
-func simulatePrefix(t *Topology, anns []Announcement, annIdx []int, ix *rov.Index, validates func(int) bool) []route {
+func simulatePrefix(t *Topology, anns []Announcement, annIdx []int, invalid []bool, validates func(int) bool) []route {
 	n := t.N()
 	best := make([]route, n)
 	isOrigin := make([]bool, n)
@@ -121,11 +134,7 @@ func simulatePrefix(t *Topology, anns []Announcement, annIdx []int, ix *rov.Inde
 		}
 	}
 	dropped := func(node int, ai int) bool {
-		if !validates(node) {
-			return false
-		}
-		a := anns[ai]
-		return ix.Validate(a.Prefix, a.ClaimedOrigin()) == rov.Invalid
+		return validates(node) && invalid[ai]
 	}
 	for changed := true; changed; {
 		changed = false

@@ -182,49 +182,49 @@ func compressTrie(t *Trie, opts Options) Result {
 		f := stack[top]
 		if f.stage == 0 {
 			stack[top].stage = 1
-			n := &t.nodes[f.idx]
-			if c := n.children[1]; c != noChild {
+			n := &t.eng.Nodes[f.idx]
+			if c := n.Children[1]; c != NoChild {
 				stack = append(stack, frame{idx: c})
 			}
-			if c := n.children[0]; c != noChild {
+			if c := n.Children[0]; c != NoChild {
 				stack = append(stack, frame{idx: c})
 			}
 			continue
 		}
 		stack = stack[:top]
-		n := &t.nodes[f.idx]
-		if !n.present {
+		n := &t.eng.Nodes[f.idx]
+		if !n.Val.present {
 			continue
 		}
 		var l, r int32
 		switch opts.Mode {
 		case Strict:
-			l = presentAtDepthPlusOne(t, n.children[0])
-			r = presentAtDepthPlusOne(t, n.children[1])
+			l = presentAtDepthPlusOne(t, n.Children[0])
+			r = presentAtDepthPlusOne(t, n.Children[1])
 		case Literal:
-			l = nearestPresent(t, n.children[0], &scratch)
-			r = nearestPresent(t, n.children[1], &scratch)
+			l = nearestPresent(t, n.Children[0], &scratch)
+			r = nearestPresent(t, n.Children[1], &scratch)
 		}
 		if l < 0 || r < 0 {
 			continue // "if node has both direct children" fails
 		}
-		ln, rn := &t.nodes[l], &t.nodes[r]
-		minChildVal := ln.value
-		if rn.value < minChildVal {
-			minChildVal = rn.value
+		ln, rn := &t.eng.Nodes[l], &t.eng.Nodes[r]
+		minChildVal := ln.Val.value
+		if rn.Val.value < minChildVal {
+			minChildVal = rn.Val.value
 		}
-		if minChildVal > n.value {
+		if minChildVal > n.Val.value {
 			// "Adjust parent's maxLength to cover children."
-			n.value = minChildVal
+			n.Val.value = minChildVal
 			res.Raised++
 		}
-		if ln.value <= n.value {
-			ln.present = false // "left child now covered by father"
+		if ln.Val.value <= n.Val.value {
+			ln.Val.present = false // "left child now covered by father"
 			t.size--
 			res.Merged++
 		}
-		if rn.value <= n.value {
-			rn.present = false
+		if rn.Val.value <= n.Val.value {
+			rn.Val.present = false
 			t.size--
 			res.Merged++
 		}
@@ -235,7 +235,7 @@ func compressTrie(t *Trie, opts Options) Result {
 // presentAtDepthPlusOne returns c if it is a present node (c is already the
 // depth+1 child index), else -1.
 func presentAtDepthPlusOne(t *Trie, c int32) int32 {
-	if c != noChild && t.nodes[c].present {
+	if c != NoChild && t.eng.Nodes[c].Val.present {
 		return c
 	}
 	return -1
@@ -251,7 +251,7 @@ func presentAtDepthPlusOne(t *Trie, c int32) int32 {
 // one per trie); the possibly-grown slice is stored back through the pointer
 // so capacity accumulates instead of being reallocated per present node.
 func nearestPresent(t *Trie, c int32, scratch *[]int32) int32 {
-	if c == noChild {
+	if c == NoChild {
 		return -1
 	}
 	// BFS by depth to find the minimal-depth present node; head indexes into
@@ -260,16 +260,16 @@ func nearestPresent(t *Trie, c int32, scratch *[]int32) int32 {
 	found := int32(-1)
 	for head := 0; head < len(queue); head++ {
 		i := queue[head]
-		n := &t.nodes[i]
-		if n.present {
+		n := &t.eng.Nodes[i]
+		if n.Val.present {
 			found = i
 			break
 		}
-		if n.children[0] != noChild {
-			queue = append(queue, n.children[0])
+		if n.Children[0] != NoChild {
+			queue = append(queue, n.Children[0])
 		}
-		if n.children[1] != noChild {
-			queue = append(queue, n.children[1])
+		if n.Children[1] != NoChild {
+			queue = append(queue, n.Children[1])
 		}
 	}
 	*scratch = queue
@@ -290,19 +290,19 @@ func subsume(t *Trie) int {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &t.nodes[f.idx]
+		n := &t.eng.Nodes[f.idx]
 		g := f.g
-		if n.present {
-			if int16(n.value) <= g {
-				n.present = false
+		if n.Val.present {
+			if int16(n.Val.value) <= g {
+				n.Val.present = false
 				t.size--
 				removed++
 			} else {
-				g = int16(n.value)
+				g = int16(n.Val.value)
 			}
 		}
 		for bit := 0; bit < 2; bit++ {
-			if c := n.children[bit]; c != noChild {
+			if c := n.Children[bit]; c != NoChild {
 				stack = append(stack, frame{idx: c, g: g})
 			}
 		}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/prefix"
+)
+
+// This file is the value-parameterized arena at the heart of every trie in
+// the repository. An Engine[V] stores a binary prefix tree as one contiguous
+// slab of Node[V]: children are int32 slab indices rather than pointers, so
+// building a tree costs O(log nodes) slab growths instead of one heap
+// allocation per prefix bit, traversals walk cache-adjacent memory, and the
+// whole structure is freed (or recycled through a SlabPool) as a single
+// object. The payload type V is chosen by the instantiating structure:
+//
+//   - Trie (this package) stores {maxLength, present} per node,
+//   - the SemanticEqual merged trie stores per-side maxLength bounds,
+//   - rov.Index stores a {off, n} span into a parallel value slab of VRP
+//     entries (per-node variable-length payloads without per-node slices).
+//
+// Slab index 0 is reserved: structures rooted at the slab base use it as
+// their root, and structures with movable roots (rov.LiveIndex path-copies
+// new roots per update) leave it as a dead placeholder. Either way node 0 is
+// never anyone's child, so 0 doubles as the NoChild sentinel and freshly
+// zeroed nodes are born with both children absent.
+
+// NoChild is the nil child sentinel of an Engine slab.
+const NoChild int32 = 0
+
+// Node is one vertex of an Engine: two child slab indices and a payload.
+type Node[V any] struct {
+	Children [2]int32
+	Val      V
+}
+
+// Engine is a contiguous-slab binary prefix tree over payload type V. The
+// zero Engine is empty and unusable; call Init first.
+type Engine[V any] struct {
+	// Nodes is the slab. Callers index it directly on hot paths; they must
+	// not reslice or reassign it.
+	Nodes []Node[V]
+}
+
+// Init readies the engine with a slab holding at least hint nodes without
+// growing, recycling one from pool when available (pool may be nil), and
+// installs the reserved node 0 carrying payload root.
+func (e *Engine[V]) Init(hint int, root V, pool *SlabPool[V]) {
+	var nodes []Node[V]
+	if pool != nil {
+		nodes = pool.Get(hint)
+	}
+	if nodes == nil {
+		nodes = make([]Node[V], 0, hint+1)
+	}
+	e.Nodes = append(nodes, Node[V]{Val: root})
+}
+
+// Release returns the slab to pool (dropped when pool is nil or full). The
+// engine must not be used afterwards. Structures that hand out snapshots
+// aliasing the slab (rov.LiveIndex) must never release it.
+func (e *Engine[V]) Release(pool *SlabPool[V]) {
+	nodes := e.Nodes
+	e.Nodes = nil
+	if nodes == nil || pool == nil {
+		return
+	}
+	pool.Put(nodes)
+}
+
+// Len returns the number of slab nodes, including reserved node 0.
+func (e *Engine[V]) Len() int { return len(e.Nodes) }
+
+// Alloc appends a fresh node with payload v and no children.
+func (e *Engine[V]) Alloc(v V) int32 {
+	idx := int32(len(e.Nodes))
+	e.Nodes = append(e.Nodes, Node[V]{Val: v})
+	return idx
+}
+
+// Clone appends a copy of node idx — children included — and returns the
+// copy's index. rov.LiveIndex builds persistent-update paths with it: the
+// original node stays valid for snapshots that still reference it.
+func (e *Engine[V]) Clone(idx int32) int32 {
+	c := int32(len(e.Nodes))
+	e.Nodes = append(e.Nodes, e.Nodes[idx])
+	return c
+}
+
+// Ensure returns the bit-child of idx, creating it with payload def if absent.
+func (e *Engine[V]) Ensure(idx int32, bit uint8, def V) int32 {
+	c := e.Nodes[idx].Children[bit]
+	if c == NoChild {
+		c = e.Alloc(def)
+		e.Nodes[idx].Children[bit] = c
+	}
+	return c
+}
+
+// PathInsert walks p's bits from root, creating missing nodes with payload
+// def, and returns the terminal node's index.
+func (e *Engine[V]) PathInsert(root int32, p prefix.Prefix, def V) int32 {
+	idx := root
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		idx = e.Ensure(idx, p.Bit(depth), def)
+	}
+	return idx
+}
+
+// PathFind walks p's bits from root and returns the terminal node's index,
+// or -1 when the path is absent. (NoChild cannot signal absence here: a /0
+// query resolves to the root, which may itself be index 0.)
+func (e *Engine[V]) PathFind(root int32, p prefix.Prefix) int32 {
+	idx := root
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		idx = e.Nodes[idx].Children[p.Bit(depth)]
+		if idx == NoChild {
+			return -1
+		}
+	}
+	return idx
+}
+
+// engineFrame is one pending subtree of an iterative pre-order traversal.
+type engineFrame struct {
+	idx int32
+	pfx prefix.Prefix
+}
+
+// Walk visits every node reachable from root in pre-order of the key space
+// (canonical prefix order), calling fn with the node's slab index and its
+// prefix. at is the prefix of root itself. The traversal is iterative and
+// its stack never exceeds the tree height.
+func (e *Engine[V]) Walk(root int32, at prefix.Prefix, fn func(idx int32, p prefix.Prefix)) {
+	stack := make([]engineFrame, 1, maxDepth+1)
+	stack[0] = engineFrame{idx: root, pfx: at}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(f.idx, f.pfx)
+		n := &e.Nodes[f.idx]
+		if c := n.Children[1]; c != NoChild {
+			stack = append(stack, engineFrame{idx: c, pfx: f.pfx.Child(1)})
+		}
+		if c := n.Children[0]; c != NoChild {
+			stack = append(stack, engineFrame{idx: c, pfx: f.pfx.Child(0)})
+		}
+	}
+}
+
+// SlabPool recycles Engine slabs of one payload type, bounded two ways:
+// at most maxSlabs slabs are retained, and slabs whose capacity exceeds
+// maxCap nodes are dropped rather than pooled. The bounds keep the pool's
+// resident memory O(maxSlabs · maxCap · sizeof(Node[V])) even after a
+// full-deployment run releases an outsized trie — the previous sync.Pool
+// kept every released slab alive until the next GC cycle.
+type SlabPool[V any] struct {
+	mu       sync.Mutex
+	slabs    [][]Node[V]
+	maxSlabs int
+	maxCap   int
+}
+
+// NewSlabPool returns a pool retaining at most maxSlabs slabs of at most
+// maxCap nodes each.
+func NewSlabPool[V any](maxSlabs, maxCap int) *SlabPool[V] {
+	return &SlabPool[V]{maxSlabs: maxSlabs, maxCap: maxCap}
+}
+
+// Get pops a pooled slab with length 0. It returns nil when the pool is
+// empty or the popped slab's capacity is below hint — the undersized slab is
+// dropped (one slab's worth of GC churn) so the caller allocates at full
+// size once instead of growing repeatedly.
+func (p *SlabPool[V]) Get(hint int) []Node[V] {
+	p.mu.Lock()
+	n := len(p.slabs)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	s := p.slabs[n-1]
+	p.slabs[n-1] = nil
+	p.slabs = p.slabs[:n-1]
+	p.mu.Unlock()
+	if cap(s) < hint {
+		return nil
+	}
+	return s[:0]
+}
+
+// Put offers a slab back to the pool. Oversized slabs and slabs beyond the
+// retention bound are dropped.
+func (p *SlabPool[V]) Put(s []Node[V]) {
+	if cap(s) == 0 || cap(s) > p.maxCap {
+		return
+	}
+	p.mu.Lock()
+	if len(p.slabs) < p.maxSlabs {
+		p.slabs = append(p.slabs, s[:0])
+	}
+	p.mu.Unlock()
+}
+
+// Size returns the number of slabs currently retained.
+func (p *SlabPool[V]) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.slabs)
+}

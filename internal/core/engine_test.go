@@ -201,9 +201,11 @@ func TestTrieRelease(t *testing.T) {
 
 // TestReleaseRecyclesAllSlabs pins the pool mechanics: releasing N tries
 // back-to-back must make all N slabs recoverable, not just the last (a
-// regression where Release overwrote the previously pooled slab).
+// regression where Release overwrote the previously pooled slab). The
+// bounded SlabPool is deterministic (unlike the sync.Pool it replaced), so
+// every released slab below the retention bound must come back.
 func TestReleaseRecyclesAllSlabs(t *testing.T) {
-	for slabPool.Get() != nil {
+	for trieSlabs.Get(0) != nil {
 	} // drain slabs pooled by earlier tests
 	tries := make([]*Trie, 16)
 	for i := range tries {
@@ -212,15 +214,61 @@ func TestReleaseRecyclesAllSlabs(t *testing.T) {
 		tries[i] = tr
 	}
 	ReleaseTries(tries)
+	if got := trieSlabs.Size(); got != len(tries) {
+		t.Fatalf("pool retained %d of %d released slabs", got, len(tries))
+	}
 	got := 0
-	for slabPool.Get() != nil {
+	for trieSlabs.Get(0) != nil {
 		got++
 	}
-	// Under the race detector sync.Pool randomly discards ~25% of Puts, so
-	// demand a clear majority rather than all 16; the regression this pins
-	// (Release overwriting the previously pooled slab) recovered exactly 1.
-	if got < len(tries)/2 {
+	if got != len(tries) {
 		t.Fatalf("recovered %d of %d released slabs from the pool", got, len(tries))
+	}
+}
+
+// TestSlabPoolBounds covers the pool's two eviction boundaries: the
+// retention count (maxSlabs) and the per-slab capacity cap (maxCap).
+func TestSlabPoolBounds(t *testing.T) {
+	pool := NewSlabPool[tval](2, 100)
+	mk := func(c int) []Node[tval] { return make([]Node[tval], 0, c) }
+
+	// Count bound: the third Put is dropped, not retained.
+	pool.Put(mk(10))
+	pool.Put(mk(20))
+	pool.Put(mk(30))
+	if got := pool.Size(); got != 2 {
+		t.Fatalf("pool size after 3 puts with maxSlabs=2: %d", got)
+	}
+
+	// Capacity bound: exactly maxCap is retained, one node over is dropped.
+	pool = NewSlabPool[tval](2, 100)
+	pool.Put(mk(100))
+	if got := pool.Size(); got != 1 {
+		t.Fatalf("slab at exactly maxCap dropped (size %d)", got)
+	}
+	pool.Put(mk(101))
+	if got := pool.Size(); got != 1 {
+		t.Fatalf("oversized slab retained (size %d)", got)
+	}
+
+	// Get honors the hint: an undersized pooled slab is dropped so the
+	// caller allocates at full size once.
+	if s := pool.Get(200); s != nil {
+		t.Fatalf("Get(200) returned a cap-%d slab", cap(s))
+	}
+	if got := pool.Size(); got != 0 {
+		t.Fatalf("undersized slab still pooled after failed Get (size %d)", got)
+	}
+	// A large-enough slab is returned empty.
+	pool.Put(mk(64))
+	s := pool.Get(50)
+	if s == nil || len(s) != 0 || cap(s) < 50 {
+		t.Fatalf("Get(50) = len %d cap %d", len(s), cap(s))
+	}
+	// Zero-capacity slabs are never pooled.
+	pool.Put(mk(0))
+	if got := pool.Size(); got != 0 {
+		t.Fatalf("zero-cap slab retained (size %d)", got)
 	}
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
@@ -21,68 +20,50 @@ import (
 // a concrete counterexample route on inequality, which the tests and the
 // compressroas -verify flag surface directly.
 
-// mnode is a merged trie node carrying per-side values. Like the engine's
-// node type it addresses children by slab index into the owning mtrie, with
-// 0 (the root, never a child) as the nil sentinel.
-type mnode struct {
-	children [2]int32
-	valA     int16 // maxLength on side A, -1 if absent
-	valB     int16
+// mval is the merged trie's per-node payload: one maxLength bound per side,
+// -1 when the side holds no tuple at the node.
+type mval struct {
+	valA int16
+	valB int16
 }
 
-// mtrie is the arena holding one merged (AS, family) trie.
+// mtrie is the engine arena holding one merged (AS, family) trie.
 type mtrie struct {
-	nodes []mnode
-	fam   prefix.Family
+	eng Engine[mval]
+	fam prefix.Family
 }
 
-// mslabPool recycles mnode slabs (as *[]mnode) across merged tries, the same
-// free-reuse treatment the engine's slabPool gives Trie slabs: SemanticEqual
-// over a full snapshot builds one mtrie per (AS, family), and without reuse
-// each of those is a fresh slab allocation on every verification run.
-var mslabPool sync.Pool
+// mtrieSlabs recycles merged-trie slabs, the same bounded free-reuse
+// treatment trieSlabs gives Trie slabs: SemanticEqual over a full snapshot
+// builds one mtrie per (AS, family), and without reuse each of those is a
+// fresh slab allocation on every verification run.
+var mtrieSlabs = NewSlabPool[mval](poolMaxSlabs, poolMaxNodeCap)
+
+// mAbsent is the payload of a node neither side holds a tuple at.
+var mAbsent = mval{valA: -1, valB: -1}
 
 func newMtrie(fam prefix.Family) *mtrie {
-	var nodes []mnode
-	if p, _ := mslabPool.Get().(*[]mnode); p != nil {
-		nodes = (*p)[:0]
-	}
-	return &mtrie{nodes: append(nodes, mnode{valA: -1, valB: -1}), fam: fam}
+	m := &mtrie{fam: fam}
+	m.eng.Init(0, mAbsent, mtrieSlabs)
+	return m
 }
 
 // release returns the mtrie's slab to the pool; the mtrie must not be used
 // afterwards.
 func (m *mtrie) release() {
-	nodes := m.nodes
-	m.nodes = nil
-	if nodes == nil {
-		return
-	}
-	s := nodes[:0]
-	mslabPool.Put(&s)
+	m.eng.Release(mtrieSlabs)
 }
 
 func (m *mtrie) insert(p prefix.Prefix, maxLength uint8, sideB bool) {
-	idx := int32(0)
-	for depth := uint8(0); depth < p.Len(); depth++ {
-		bit := p.Bit(depth)
-		c := m.nodes[idx].children[bit]
-		if c == noChild {
-			c = int32(len(m.nodes))
-			m.nodes = append(m.nodes, mnode{valA: -1, valB: -1})
-			m.nodes[idx].children[bit] = c
-		}
-		idx = c
-	}
-	n := &m.nodes[idx]
+	n := &m.eng.Nodes[m.eng.PathInsert(0, p, mAbsent)]
 	v := int16(maxLength)
 	if sideB {
-		if v > n.valB {
-			n.valB = v
+		if v > n.Val.valB {
+			n.Val.valB = v
 		}
 	} else {
-		if v > n.valA {
-			n.valA = v
+		if v > n.Val.valA {
+			n.Val.valA = v
 		}
 	}
 }
@@ -176,13 +157,13 @@ func diffTrie(m *mtrie, as rpki.ASN) *Counterexample {
 		if f.absentBit >= 0 {
 			return tupleFreeCounterexample(f.pfx, uint8(f.absentBit), f.gA, f.gB, as)
 		}
-		n := &m.nodes[f.idx]
+		n := &m.eng.Nodes[f.idx]
 		gA, gB := f.gA, f.gB
-		if n.valA > gA {
-			gA = n.valA
+		if n.Val.valA > gA {
+			gA = n.Val.valA
 		}
-		if n.valB > gB {
-			gB = n.valB
+		if n.Val.valB > gB {
+			gB = n.Val.valB
 		}
 		l := int16(f.pfx.Len())
 		// Authorization of the node's own prefix.
@@ -198,7 +179,7 @@ func diffTrie(m *mtrie, as rpki.ASN) *Counterexample {
 		// bound-authorized ranges are empty; otherwise a deferred divergence
 		// frame keeps the report at its pre-order position.
 		for bit := int8(1); bit >= 0; bit-- {
-			if c := n.children[bit]; c != noChild {
+			if c := n.Children[bit]; c != NoChild {
 				stack = append(stack, diffFrame{idx: c, gA: gA, gB: gB, absentBit: -1, pfx: f.pfx.Child(uint8(bit))})
 			} else if gA != gB && (gA > l || gB > l) {
 				stack = append(stack, diffFrame{gA: gA, gB: gB, absentBit: bit, pfx: f.pfx})

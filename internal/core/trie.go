@@ -6,55 +6,61 @@
 // paper builds on that algorithm: minimal-ROA conversion (§6, §7.2),
 // forged-origin subprefix hijack vulnerability detection (§4, §6), and an
 // exact semantic-equivalence verifier used to prove compression safe.
+//
+// All of those structures are instances of one arena engine (see engine.go):
+// a contiguous Node[V] slab with int32 child indices, parameterized by the
+// per-node payload V.
 package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
 )
 
-// node is one vertex of the binary prefix trie. Structural nodes exist only
-// to connect present nodes; a present node corresponds to a (prefix,
+// tval is the Trie's per-node payload. Structural nodes exist only to
+// connect present nodes; a present node corresponds to a (prefix,
 // maxLength) tuple ("Each trie node corresponds to some (AS, prefix,
-// maxLength)-tuple", §7.1).
-//
-// Nodes live in the owning Trie's slab and address their children by slab
-// index rather than pointer: index 0 is the root, which is never anyone's
-// child, so 0 doubles as the nil child sentinel. A node does not store its
-// prefix — the prefix is the path from the root, and traversals that need it
-// rebuild it incrementally with Prefix.Child.
-type node struct {
-	children [2]int32
-	value    uint8 // maxLength; meaningful only when present
-	present  bool
+// maxLength)-tuple", §7.1). A node does not store its prefix — the prefix is
+// the path from the root, and traversals that need it rebuild it
+// incrementally with Prefix.Child.
+type tval struct {
+	value   uint8 // maxLength; meaningful only when present
+	present bool
 }
-
-const noChild int32 = 0
 
 // Trie is the per-(origin AS, address family) prefix tree of §7.1. The trie
 // key of a node is the bit string of its prefix; node values are maxLengths.
 //
-// All nodes live in a single contiguous slab, so building a trie costs
-// O(log nodes) slab growths rather than one heap allocation per prefix bit,
-// and the whole structure is freed (or recycled, see Release) as one object.
-// Child slab indices are always greater than their parent's, which makes the
-// structure trivially acyclic.
+// All nodes live in a single contiguous Engine slab (node 0 is the root),
+// so building a trie costs O(log nodes) slab growths rather than one heap
+// allocation per prefix bit, and the whole structure is freed (or recycled,
+// see Release) as one object. Child slab indices are always greater than
+// their parent's, which makes the structure trivially acyclic.
 type Trie struct {
-	nodes []node // nodes[0] is the root
-	fam   prefix.Family
-	as    rpki.ASN
-	size  int // number of present nodes
+	eng  Engine[tval]
+	fam  prefix.Family
+	as   rpki.ASN
+	size int // number of present nodes
 }
 
-// slabPool recycles node slabs (as *[]node) across tries. Compress releases
-// every trie it builds once the tuples are extracted, so repeated runs over
-// full RPKI snapshots reuse a steady-state set of slabs instead of
-// reallocating O(tries) of them per run. Each Put boxes one slab; Get
-// returning nil means the pool is empty.
-var slabPool sync.Pool
+// trieSlabs recycles Trie slabs. Compress releases every trie it builds once
+// the tuples are extracted, so repeated runs over full RPKI snapshots reuse
+// a steady-state set of slabs instead of reallocating O(tries) of them per
+// run. The pool is bounded (see SlabPool): at most poolMaxSlabs slabs stay
+// resident, and a slab larger than poolMaxNodeCap nodes is dropped on
+// Release rather than pinned until the next GC.
+var trieSlabs = NewSlabPool[tval](poolMaxSlabs, poolMaxNodeCap)
+
+const (
+	// poolMaxSlabs comfortably covers the Compress steady state: one slab in
+	// flight per pipeline worker plus headroom for release bursts.
+	poolMaxSlabs = 32
+	// poolMaxNodeCap drops outlier slabs (≈12 MiB of nodes) that a single
+	// giant origin group would otherwise pin in the pool forever.
+	poolMaxNodeCap = 1 << 20
+)
 
 // NewTrie returns an empty trie for one origin AS and family.
 func NewTrie(as rpki.ASN, fam prefix.Family) *Trie {
@@ -67,21 +73,9 @@ func newTrieCap(as rpki.ASN, fam prefix.Family, hint int) *Trie {
 	if fam != prefix.IPv4 && fam != prefix.IPv6 {
 		panic(fmt.Sprintf("core: invalid family %d", fam))
 	}
-	// Cap the pre-size: hint is an upper bound that ignores path sharing, so
-	// beyond this the slab grows by appending (still O(log n) allocations).
-	const maxHint = 1 << 15
-	if hint > maxHint {
-		hint = maxHint
-	}
-	var nodes []node
-	if p, _ := slabPool.Get().(*[]node); p != nil && cap(*p) >= hint {
-		nodes = (*p)[:0]
-	} else {
-		// Pool empty, or the recycled slab is smaller than the hint: let the
-		// undersized slab go to GC and allocate at full size once.
-		nodes = make([]node, 0, hint)
-	}
-	return &Trie{nodes: append(nodes, node{}), fam: fam, as: as}
+	t := &Trie{fam: fam, as: as}
+	t.eng.Init(hint, tval{}, trieSlabs)
+	return t
 }
 
 // Release returns the trie's node slab to an internal pool for reuse by
@@ -90,14 +84,8 @@ func newTrieCap(as rpki.ASN, fam prefix.Family, hint int) *Trie {
 // pipelines (Compress over a full snapshot) release tries as they finish to
 // keep slab allocation O(working set) instead of O(total tries).
 func (t *Trie) Release() {
-	nodes := t.nodes
-	t.nodes = nil
+	t.eng.Release(trieSlabs)
 	t.size = 0
-	if nodes == nil {
-		return
-	}
-	s := nodes[:0]
-	slabPool.Put(&s)
 }
 
 // AS returns the origin AS the trie belongs to.
@@ -129,26 +117,31 @@ func (t *Trie) Insert(p prefix.Prefix, maxLength uint8) {
 	if maxLength < p.Len() || maxLength > p.MaxLen() {
 		panic(fmt.Sprintf("core: maxLength %d invalid for %s", maxLength, p))
 	}
+	// The descend loop is hand-inlined over the slab rather than routed
+	// through Engine.PathInsert: trie building is the hottest path of
+	// Compress and the per-bit method calls showed up in its profile.
+	nodes := t.eng.Nodes
 	idx := int32(0)
 	for depth := uint8(0); depth < p.Len(); depth++ {
 		bit := p.Bit(depth)
-		c := t.nodes[idx].children[bit]
-		if c == noChild {
-			c = int32(len(t.nodes))
-			t.nodes = append(t.nodes, node{})
-			t.nodes[idx].children[bit] = c
+		c := nodes[idx].Children[bit]
+		if c == NoChild {
+			c = int32(len(nodes))
+			nodes = append(nodes, Node[tval]{})
+			nodes[idx].Children[bit] = c
 		}
 		idx = c
 	}
-	n := &t.nodes[idx]
-	if !n.present {
-		n.present = true
-		n.value = maxLength
+	t.eng.Nodes = nodes
+	n := &nodes[idx]
+	if !n.Val.present {
+		n.Val.present = true
+		n.Val.value = maxLength
 		t.size++
 		return
 	}
-	if maxLength > n.value {
-		n.value = maxLength
+	if maxLength > n.Val.value {
+		n.Val.value = maxLength
 	}
 }
 
@@ -163,12 +156,6 @@ func (t *Trie) InsertVRP(v rpki.VRP) {
 // maxDepth bounds the trie height: one level per prefix bit plus the root.
 const maxDepth = 129
 
-// walkFrame is one pending subtree of an iterative pre-order traversal.
-type walkFrame struct {
-	idx int32
-	pfx prefix.Prefix
-}
-
 // Tuples appends the trie's present tuples to dst in canonical prefix order
 // and returns the extended slice.
 func (t *Trie) Tuples(dst []rpki.VRP) []rpki.VRP {
@@ -178,25 +165,26 @@ func (t *Trie) Tuples(dst []rpki.VRP) []rpki.VRP {
 	return dst
 }
 
-// Walk visits every present tuple in canonical order. The traversal is
-// iterative over an explicit stack: pushing the 1-child before the 0-child
-// yields the pre-order of the key space, and the stack never exceeds the
-// trie height.
+// Walk visits every present tuple in canonical order. Like Insert it walks
+// the slab directly (pre-order of the key space, matching Engine.Walk):
+// tuple extraction is on the Compress hot path, and the engine's generic
+// visit-every-node callback costs a second closure indirection per node.
 func (t *Trie) Walk(fn func(p prefix.Prefix, maxLength uint8)) {
-	stack := make([]walkFrame, 1, maxDepth+1)
-	stack[0] = walkFrame{idx: 0, pfx: t.rootPrefix()}
+	nodes := t.eng.Nodes
+	stack := make([]engineFrame, 1, maxDepth+1)
+	stack[0] = engineFrame{idx: 0, pfx: t.rootPrefix()}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &t.nodes[f.idx]
-		if n.present {
-			fn(f.pfx, n.value)
+		n := &nodes[f.idx]
+		if n.Val.present {
+			fn(f.pfx, n.Val.value)
 		}
-		if c := n.children[1]; c != noChild {
-			stack = append(stack, walkFrame{idx: c, pfx: f.pfx.Child(1)})
+		if c := n.Children[1]; c != NoChild {
+			stack = append(stack, engineFrame{idx: c, pfx: f.pfx.Child(1)})
 		}
-		if c := n.children[0]; c != noChild {
-			stack = append(stack, walkFrame{idx: c, pfx: f.pfx.Child(0)})
+		if c := n.Children[0]; c != NoChild {
+			stack = append(stack, engineFrame{idx: c, pfx: f.pfx.Child(0)})
 		}
 	}
 }
@@ -206,18 +194,14 @@ func (t *Trie) Lookup(p prefix.Prefix) (uint8, bool) {
 	if p.Family() != t.fam {
 		return 0, false
 	}
-	idx := int32(0)
-	for depth := uint8(0); depth < p.Len(); depth++ {
-		idx = t.nodes[idx].children[p.Bit(depth)]
-		if idx == noChild {
-			return 0, false
-		}
-	}
-	n := &t.nodes[idx]
-	if !n.present {
+	idx := t.eng.PathFind(0, p)
+	if idx < 0 {
 		return 0, false
 	}
-	return n.value, true
+	if v := t.eng.Nodes[idx].Val; v.present {
+		return v.value, true
+	}
+	return 0, false
 }
 
 // Authorizes reports whether the trie's tuples authorize the route (q, AS):
@@ -228,15 +212,15 @@ func (t *Trie) Authorizes(q prefix.Prefix) bool {
 	}
 	idx := int32(0)
 	for depth := uint8(0); ; depth++ {
-		n := &t.nodes[idx]
-		if n.present && n.value >= q.Len() {
+		n := &t.eng.Nodes[idx]
+		if n.Val.present && n.Val.value >= q.Len() {
 			return true
 		}
 		if depth >= q.Len() {
 			return false
 		}
-		idx = n.children[q.Bit(depth)]
-		if idx == noChild {
+		idx = n.Children[q.Bit(depth)]
+		if idx == NoChild {
 			return false
 		}
 	}
@@ -267,17 +251,17 @@ func (t *Trie) CountAuthorized() uint64 {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &t.nodes[f.idx]
+		n := &t.eng.Nodes[f.idx]
 		g := f.g
-		if n.present && int16(n.value) > g {
-			g = int16(n.value)
+		if n.Val.present && int16(n.Val.value) > g {
+			g = int16(n.Val.value)
 		}
 		l := int16(f.depth)
 		if l <= g {
 			total = satAdd(total, 1)
 		}
 		for bit := 0; bit < 2; bit++ {
-			if c := n.children[bit]; c != noChild {
+			if c := n.Children[bit]; c != NoChild {
 				stack = append(stack, countFrame{idx: c, g: g, depth: f.depth + 1})
 			} else if g > l {
 				// Tuple-free subtree fully authorized down to depth g:
@@ -303,7 +287,7 @@ func satAdd(a, b uint64) uint64 {
 
 // checkInvariants verifies structural soundness; used by tests.
 func (t *Trie) checkInvariants() error {
-	if len(t.nodes) == 0 {
+	if t.eng.Len() == 0 {
 		return fmt.Errorf("core: trie has no root (released?)")
 	}
 	count := 0
@@ -316,22 +300,22 @@ func (t *Trie) checkInvariants() error {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &t.nodes[f.idx]
+		n := &t.eng.Nodes[f.idx]
 		if n.pfxLenMismatch(f.pfx) {
 			return fmt.Errorf("core: node %d at %s exceeds family depth", f.idx, f.pfx)
 		}
-		if n.present {
+		if n.Val.present {
 			count++
-			if n.value < f.pfx.Len() || n.value > f.pfx.MaxLen() {
-				return fmt.Errorf("core: node %s has bad value %d", f.pfx, n.value)
+			if n.Val.value < f.pfx.Len() || n.Val.value > f.pfx.MaxLen() {
+				return fmt.Errorf("core: node %s has bad value %d", f.pfx, n.Val.value)
 			}
 		}
 		for bit := uint8(0); bit < 2; bit++ {
-			c := n.children[bit]
-			if c == noChild {
+			c := n.Children[bit]
+			if c == NoChild {
 				continue
 			}
-			if c <= f.idx || int(c) >= len(t.nodes) {
+			if c <= f.idx || int(c) >= t.eng.Len() {
 				return fmt.Errorf("core: child index %d of node %d out of order", c, f.idx)
 			}
 			visited++
@@ -341,23 +325,23 @@ func (t *Trie) checkInvariants() error {
 	if count != t.size {
 		return fmt.Errorf("core: size %d but %d present nodes", t.size, count)
 	}
-	if visited != len(t.nodes) {
-		return fmt.Errorf("core: %d nodes in slab but %d reachable", len(t.nodes), visited)
+	if visited != t.eng.Len() {
+		return fmt.Errorf("core: %d nodes in slab but %d reachable", t.eng.Len(), visited)
 	}
 	return nil
 }
 
 // pfxLenMismatch reports whether a node with children sits at the family's
 // maximum depth (its prefix could not have children).
-func (n *node) pfxLenMismatch(p prefix.Prefix) bool {
-	return (n.children[0] != noChild || n.children[1] != noChild) && p.Len() >= p.MaxLen()
+func (n *Node[V]) pfxLenMismatch(p prefix.Prefix) bool {
+	return (n.Children[0] != NoChild || n.Children[1] != NoChild) && p.Len() >= p.MaxLen()
 }
 
 // BuildTries partitions a VRP set into per-(AS, family) tries, the structure
 // §7.1 compresses ("For each AS number in the list, we generate a trie for
-// IPv4 and a trie for IPv6"). Each trie's slab is pre-sized from the group's
-// total prefix bits — an upper bound on its node count — so a build performs
-// O(tries) slab allocations rather than one per prefix bit.
+// IPv4 and a trie for IPv6"). Each trie's slab is pre-sized to the group's
+// exact node count (see groupNodeHint), so a build performs O(tries) slab
+// allocations rather than one per prefix bit.
 func BuildTries(s *rpki.Set) []*Trie {
 	groups := s.ByOrigin()
 	out := make([]*Trie, 0, len(groups))
@@ -367,14 +351,33 @@ func BuildTries(s *rpki.Set) []*Trie {
 	return out
 }
 
-// buildGroupTrie builds the trie for one (AS, family) group, pre-sizing the
-// slab from the group's total prefix bits.
-func buildGroupTrie(g rpki.OriginGroup) *Trie {
-	hint := 1
-	for _, v := range g.VRPs {
-		hint += int(v.Prefix.Len())
+// groupNodeHint returns the exact number of trie nodes (root included) the
+// group's VRPs expand to. The group's prefixes arrive in canonical Set order,
+// which for the underlying bit strings is lexicographic order, so each
+// prefix's longest common prefix with *any* earlier prefix is its LCP with
+// its immediate predecessor; the prefix then contributes exactly its bits
+// beyond that LCP as new nodes. The previous hint, Σ prefix bits, ignored
+// path sharing entirely and overestimated sibling-heavy groups by >2x
+// (measured in TestGroupNodeHintExact), making pooled-slab reuse miss and
+// oversize fresh slabs.
+func groupNodeHint(g rpki.OriginGroup) int {
+	hint := 1 // the root
+	var prev prefix.Prefix
+	for i, v := range g.VRPs {
+		if i == 0 {
+			hint += int(v.Prefix.Len())
+		} else {
+			hint += int(v.Prefix.Len()) - int(prefix.CommonPrefixLen(prev, v.Prefix))
+		}
+		prev = v.Prefix
 	}
-	t := newTrieCap(g.AS, g.Family, hint)
+	return hint
+}
+
+// buildGroupTrie builds the trie for one (AS, family) group, pre-sizing the
+// slab to the group's exact node count.
+func buildGroupTrie(g rpki.OriginGroup) *Trie {
+	t := newTrieCap(g.AS, g.Family, groupNodeHint(g))
 	for _, v := range g.VRPs {
 		t.InsertVRP(v)
 	}

@@ -187,3 +187,67 @@ func TestBuildTries(t *testing.T) {
 		t.Error("IPv6 trie missing")
 	}
 }
+
+// TestGroupNodeHintExact instruments the trie pre-size hint: groupNodeHint
+// must equal the built trie's node count exactly (ratio 1.0) on random
+// sibling-heavy groups, where the previous estimator — Σ prefix bits — was a
+// >2x overestimate. The logged ratios are recorded in ROADMAP.md.
+func TestGroupNodeHintExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var sumOld, sumActual, sumHint float64
+	groups := 0
+	for trial := 0; trial < 40; trial++ {
+		set := randomSet(rng, 50+rng.Intn(400))
+		for _, g := range set.ByOrigin() {
+			oldHint := 1
+			for _, v := range g.VRPs {
+				oldHint += int(v.Prefix.Len())
+			}
+			hint := groupNodeHint(g)
+			tr := buildGroupTrie(g)
+			actual := tr.eng.Len()
+			if hint != actual {
+				t.Fatalf("group %s/%s (%d VRPs): hint %d != actual %d nodes",
+					g.AS, g.Family, len(g.VRPs), hint, actual)
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			tr.Release()
+			sumOld += float64(oldHint)
+			sumActual += float64(actual)
+			sumHint += float64(hint)
+			groups++
+		}
+	}
+	t.Logf("%d groups: old Σ-bits hint/actual = %.2f, new lcp hint/actual = %.2f",
+		groups, sumOld/sumActual, sumHint/sumActual)
+}
+
+// TestGroupNodeHintDuplicatesAndSingles covers the estimator's edge cases:
+// a single VRP, duplicate prefixes with different maxLengths (contribute 0
+// new nodes), and nested prefixes (contribute only their extra bits).
+func TestGroupNodeHintDuplicatesAndSingles(t *testing.T) {
+	cases := []struct {
+		vrps []rpki.VRP
+		want int
+	}{
+		{[]rpki.VRP{v("10.0.0.0/8", 8, 1)}, 9},
+		{[]rpki.VRP{v("10.0.0.0/8", 8, 1), v("10.0.0.0/8", 16, 1)}, 9},
+		{[]rpki.VRP{v("10.0.0.0/8", 8, 1), v("10.0.0.0/16", 16, 1)}, 17},
+		{[]rpki.VRP{v("10.0.0.0/9", 9, 1), v("10.128.0.0/9", 9, 1)}, 11},
+	}
+	for _, c := range cases {
+		set := rpki.NewSet(c.vrps)
+		for _, g := range set.ByOrigin() {
+			if got := groupNodeHint(g); got != c.want {
+				t.Errorf("groupNodeHint(%v) = %d, want %d", c.vrps, got, c.want)
+			}
+			tr := buildGroupTrie(g)
+			if tr.eng.Len() != c.want {
+				t.Errorf("built trie for %v has %d nodes, want %d", c.vrps, tr.eng.Len(), c.want)
+			}
+			tr.Release()
+		}
+	}
+}

@@ -458,6 +458,24 @@ func (p Prefix) WalkSubprefixes(maxLen uint8, fn func(Prefix) bool) {
 	rec(p)
 }
 
+// CommonPrefixLen returns the length of the longest prefix containing both
+// p and q — CommonAncestor's length without materializing the ancestor,
+// for hot paths (trie pre-sizing) that only need the shared bit count.
+// Both must share a family or CommonPrefixLen panics.
+func CommonPrefixLen(p, q Prefix) uint8 {
+	if p.fam != q.fam {
+		panic("prefix: CommonPrefixLen across families")
+	}
+	l := p.len
+	if q.len < l {
+		l = q.len
+	}
+	if d := commonBits(p.hi, p.lo, q.hi, q.lo); d < l {
+		return d
+	}
+	return l
+}
+
 // CommonAncestor returns the longest prefix containing both p and q. Both
 // must share a family or CommonAncestor panics.
 func CommonAncestor(p, q Prefix) Prefix {

@@ -407,3 +407,31 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want uint8
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", 8},
+		{"10.0.0.0/8", "10.0.0.0/16", 8},
+		{"10.0.0.0/9", "10.128.0.0/9", 8},
+		{"0.0.0.0/0", "255.0.0.0/8", 0},
+		{"192.0.2.0/24", "198.51.100.0/24", 5},
+		{"2001:db8::/32", "2001:db8:1::/48", 32},
+		{"2001:db8::/128", "2001:db8::1/128", 127},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := CommonPrefixLen(p, q); got != c.want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := CommonPrefixLen(q, p); got != c.want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", c.q, c.p, got, c.want)
+		}
+		// Must agree with CommonAncestor's length.
+		if got, want := CommonPrefixLen(p, q), CommonAncestor(p, q).Len(); got != want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, CommonAncestor length %d", c.p, c.q, got, want)
+		}
+	}
+}

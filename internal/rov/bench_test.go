@@ -1,0 +1,85 @@
+package rov
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// benchSet builds a 50k-VRP table shaped like a real snapshot (random
+// prefixes, many origins), cached across benchmarks in this file.
+var benchSetCache *rpki.Set
+
+func benchSet() *rpki.Set {
+	if benchSetCache == nil {
+		rng := rand.New(rand.NewSource(1))
+		var vrps []rpki.VRP
+		for i := 0; i < 50000; i++ {
+			l := uint8(8 + rng.Intn(17))
+			p, _ := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+			vrps = append(vrps, rpki.VRP{Prefix: p, MaxLength: l + uint8(rng.Intn(3)), AS: rpki.ASN(rng.Intn(30000))})
+		}
+		benchSetCache = rpki.NewSet(vrps)
+	}
+	return benchSetCache
+}
+
+func benchRoutes(n int) []Route {
+	rng := rand.New(rand.NewSource(2))
+	out := make([]Route, n)
+	for i := range out {
+		l := uint8(8 + rng.Intn(17))
+		p, _ := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+		out[i] = Route{Prefix: p, Origin: rpki.ASN(rng.Intn(30000))}
+	}
+	return out
+}
+
+// BenchmarkIndexBuild measures the arena build: two passes of slab appends,
+// not one pointer allocation per prefix bit.
+func BenchmarkIndexBuild(b *testing.B) {
+	s := benchSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIndex(s)
+		if ix.Len() != s.Len() {
+			b.Fatal("short index")
+		}
+	}
+}
+
+// BenchmarkValidateBatch measures batch classification throughput over a
+// 50k-VRP table; ns/op is per batch of 8192 routes.
+func BenchmarkValidateBatch(b *testing.B) {
+	ix := NewIndex(benchSet())
+	routes := benchRoutes(8192)
+	dst := make([]State, len(routes))
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = ix.ValidateBatch(routes, dst)
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = ix.ValidateBatchParallel(routes, dst, 4)
+		}
+	})
+}
+
+// BenchmarkLiveApply measures one announce+withdraw delta pair against a
+// 50k-VRP live table: cost must track the delta, not the table.
+func BenchmarkLiveApply(b *testing.B) {
+	l := NewLiveIndex(benchSet())
+	v := rpki.VRP{Prefix: prefix.MustParse("198.51.100.0/24"), MaxLength: 24, AS: 64511}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+	}
+}

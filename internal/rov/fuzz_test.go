@@ -1,0 +1,115 @@
+package rov
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// FuzzIndex drives the arena Index and the LiveIndex with a fuzzer-chosen
+// op stream — announce, withdraw, query — and checks both against the
+// linear Reference over the resulting table. Each op is 8 bytes:
+//
+//	[tag, a0, a1, a2, a3, len, mlDelta, as]
+//
+// tag%3 selects the op, tag bit 3 the family. The address bytes seed the
+// prefix (IPv4 in the top 32 bits; IPv6 reuses them byte-swapped in the
+// second quad so v6 paths diverge), len and mlDelta are clamped to the
+// family's range, and as is folded into a small origin space so matches,
+// covers and misses all occur.
+func FuzzIndex(f *testing.F) {
+	// The RFC 6811 / §2 running example: ROA (168.122.0.0/16, AS 111), the
+	// legitimate announcement, the subprefix hijack by AS 666, the owner's
+	// own invalid de-aggregation, and unrelated space.
+	f.Add([]byte{
+		0, 168, 122, 0, 0, 16, 0, 111, // announce 168.122.0.0/16-16 => AS111
+		2, 168, 122, 0, 0, 16, 0, 111, // query exact, right origin: Valid
+		2, 168, 122, 0, 0, 24, 0, 154, // query subprefix, wrong origin: Invalid
+		2, 168, 122, 225, 0, 24, 0, 111, // owner's /24 de-aggregation: Invalid
+		2, 192, 0, 2, 0, 24, 0, 154, // unrelated space: NotFound
+	})
+	// A maxLength ROA plus its forged-origin subprefix hijack (§4), then a
+	// withdrawal of the ROA.
+	f.Add([]byte{
+		0, 168, 122, 0, 0, 16, 8, 111, // announce 168.122.0.0/16-24 => AS111
+		2, 168, 122, 0, 0, 24, 0, 111, // forged-origin subprefix route: Valid
+		1, 168, 122, 0, 0, 16, 8, 111, // withdraw the ROA
+		2, 168, 122, 0, 0, 16, 0, 111, // now NotFound
+	})
+	// IPv6 ops (tag bit 3 set).
+	f.Add([]byte{
+		8, 32, 1, 13, 184, 32, 16, 200, // announce a 2001:db8-ish /32-48
+		10, 32, 1, 13, 184, 48, 0, 200, // query a /48 under it
+		9, 32, 1, 13, 184, 32, 16, 200, // withdraw it
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		state := map[rpki.VRP]struct{}{}
+		live := NewLiveIndex(rpki.NewSet(nil))
+		var queries []Route
+		for len(data) >= 8 {
+			op := data[:8]
+			data = data[8:]
+			tag := op[0]
+			fam, famMax := prefix.IPv4, uint8(32)
+			if tag&8 != 0 {
+				fam, famMax = prefix.IPv6, 64 // keep v6 paths in the top quad range
+			}
+			l := op[5] % (famMax + 1)
+			hi := uint64(binary.BigEndian.Uint32(op[1:5])) << 32
+			if fam == prefix.IPv6 {
+				// Spread fuzz entropy into the second 32 bits too.
+				hi |= uint64(op[4])<<24 | uint64(op[3])<<16 | uint64(op[2])<<8 | uint64(op[1])
+			}
+			p, err := prefix.Make(fam, hi, 0, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origin := rpki.ASN(op[7]) % 8
+			switch tag % 3 {
+			case 0: // announce
+				ml := l + op[6]%(famMax-l+1)
+				if ml > p.MaxLen() {
+					ml = p.MaxLen()
+				}
+				v := rpki.VRP{Prefix: p, MaxLength: ml, AS: origin}
+				live.Apply([]rpki.VRP{v}, nil)
+				state[v] = struct{}{}
+			case 1: // withdraw
+				ml := l + op[6]%(famMax-l+1)
+				if ml > p.MaxLen() {
+					ml = p.MaxLen()
+				}
+				v := rpki.VRP{Prefix: p, MaxLength: ml, AS: origin}
+				live.Apply(nil, []rpki.VRP{v})
+				delete(state, v)
+			case 2: // query
+				queries = append(queries, Route{Prefix: p, Origin: origin})
+			}
+		}
+		vrps := make([]rpki.VRP, 0, len(state))
+		for v := range state {
+			vrps = append(vrps, v)
+			// Probe every table prefix with a right and a wrong origin too.
+			queries = append(queries,
+				Route{Prefix: v.Prefix, Origin: v.AS},
+				Route{Prefix: v.Prefix, Origin: v.AS + 1})
+		}
+		set := rpki.NewSet(vrps)
+		ix, ref := NewIndex(set), NewReference(set)
+		if ix.Len() != set.Len() || live.Len() != set.Len() {
+			t.Fatalf("index %d / live %d / set %d VRPs", ix.Len(), live.Len(), set.Len())
+		}
+		for _, q := range queries {
+			want := ref.Validate(q.Prefix, q.Origin)
+			if got := ix.Validate(q.Prefix, q.Origin); got != want {
+				t.Fatalf("Index.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
+			if got := live.Validate(q.Prefix, q.Origin); got != want {
+				t.Fatalf("LiveIndex.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package rov
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file is the serving-path validator: an instance of the core arena
+// engine whose per-node payload is a {off, n} span into a parallel value
+// slab of VRP entries. Building an Index is O(nodes) slab appends — two
+// passes over the VRP list with no per-node slice or per-bit pointer
+// allocation — and Validate walks two contiguous arrays (the node slab down
+// the ancestor path, the entry slab across each span), so a router serving
+// millions of origin-validation queries reads cache-adjacent memory.
+
+// entry is one VRP payload at a trie node: the node's prefix is implied by
+// its position, so only maxLength and origin AS remain.
+type entry struct {
+	maxLength uint8
+	as        rpki.ASN
+}
+
+// span is the engine payload: the node's entries live at
+// Index.entries[off : off+n]. The zero span is empty.
+type span struct {
+	off int32
+	n   int32
+}
+
+// famIndex is one address family's trie: an engine slab and the root's slab
+// index. Freshly built indexes root at node 0; LiveIndex snapshots root at
+// whatever node the last path-copied update produced.
+type famIndex struct {
+	eng  core.Engine[span]
+	root int32
+}
+
+// Index answers RFC 6811 queries in O(route prefix length). Build one with
+// NewIndex; an Index is immutable and safe for concurrent readers. For a
+// table that changes in place (RTR deltas), see LiveIndex.
+type Index struct {
+	fams    [2]famIndex // famSlot order: IPv4, IPv6
+	entries []entry     // shared value slab, addressed by node spans
+	size    int
+}
+
+// famSlot maps an address family to its fams index.
+func famSlot(f prefix.Family) int {
+	if f == prefix.IPv4 {
+		return 0
+	}
+	return 1
+}
+
+// slotFamily is famSlot's inverse.
+func slotFamily(slot int) prefix.Family {
+	if slot == 0 {
+		return prefix.IPv4
+	}
+	return prefix.IPv6
+}
+
+// NewIndex builds a validation index over the set's VRPs.
+func NewIndex(s *rpki.Set) *Index {
+	return newIndexFromVRPs(s.VRPs())
+}
+
+// newIndexFromVRPs builds the two-slab index in two passes: the first
+// inserts every VRP's path and counts entries per terminal node, then a
+// prefix-sum turns counts into slab offsets; the second drops each entry
+// into its node's span. The input need not be sorted (LiveIndex compaction
+// feeds walk order) and is not retained.
+func newIndexFromVRPs(vrps []rpki.VRP) *Index {
+	ix := &Index{size: len(vrps)}
+	var perFam [2]int
+	for _, v := range vrps {
+		perFam[famSlot(v.Prefix.Family())]++
+	}
+	for slot := range ix.fams {
+		// Pre-size modestly: at least one node per VRP of the family; path
+		// sharing and growth appends cover the rest in O(log nodes)
+		// allocations, and an absent family costs only its root node.
+		ix.fams[slot].eng.Init(perFam[slot], span{}, nil)
+		ix.fams[slot].root = 0
+	}
+	terms := make([]int32, len(vrps))
+	for i, v := range vrps {
+		f := &ix.fams[famSlot(v.Prefix.Family())]
+		idx := f.eng.PathInsert(f.root, v.Prefix, span{})
+		f.eng.Nodes[idx].Val.n++
+		terms[i] = idx
+	}
+	off := int32(0)
+	for slot := range ix.fams {
+		nodes := ix.fams[slot].eng.Nodes
+		for j := range nodes {
+			sp := &nodes[j].Val
+			sp.off = off
+			off += sp.n
+			sp.n = 0 // reused as the fill cursor below
+		}
+	}
+	ix.entries = make([]entry, off)
+	for i, v := range vrps {
+		f := &ix.fams[famSlot(v.Prefix.Family())]
+		sp := &f.eng.Nodes[terms[i]].Val
+		ix.entries[sp.off+sp.n] = entry{maxLength: v.MaxLength, as: v.AS}
+		sp.n++
+	}
+	return ix
+}
+
+// Len returns the number of indexed VRPs.
+func (ix *Index) Len() int { return ix.size }
+
+// validateOn classifies (p, origin) against one family's slabs. Every entry
+// on the ancestor path covers p by construction, so the state tightens from
+// NotFound to Invalid at the first non-empty span and to Valid at the first
+// matching entry.
+func validateOn(nodes []core.Node[span], root int32, entries []entry, p prefix.Prefix, origin rpki.ASN) State {
+	state := NotFound
+	idx := root
+	for depth := uint8(0); ; depth++ {
+		sp := nodes[idx].Val
+		if sp.n > 0 {
+			state = Invalid
+			for _, e := range entries[sp.off : sp.off+sp.n] {
+				if e.as == origin && p.Len() <= e.maxLength {
+					return Valid
+				}
+			}
+		}
+		if depth >= p.Len() {
+			return state
+		}
+		idx = nodes[idx].Children[p.Bit(depth)]
+		if idx == core.NoChild {
+			return state
+		}
+	}
+}
+
+// Validate classifies route (p, origin) per RFC 6811.
+func (ix *Index) Validate(p prefix.Prefix, origin rpki.ASN) State {
+	if !p.IsValid() {
+		return NotFound
+	}
+	f := &ix.fams[famSlot(p.Family())]
+	return validateOn(f.eng.Nodes, f.root, ix.entries, p, origin)
+}
+
+// ValidateRoute is a convenience wrapper over (prefix, origin) pairs
+// expressed as a VRP-shaped route.
+func (ix *Index) ValidateRoute(p prefix.Prefix, origin rpki.ASN) (State, bool) {
+	s := ix.Validate(p, origin)
+	return s, s == Valid
+}
+
+// ValidateBatch classifies every route in one pass, writing states into dst
+// (grown if needed) and returning it. The per-family slab headers are
+// hoisted out of the loop, so a batch amortizes the root and bounds lookups
+// that a Validate call pays per route. dst[i] corresponds to routes[i].
+func (ix *Index) ValidateBatch(routes []Route, dst []State) []State {
+	if cap(dst) < len(routes) {
+		dst = make([]State, len(routes))
+	} else {
+		dst = dst[:len(routes)]
+	}
+	n4, r4 := ix.fams[0].eng.Nodes, ix.fams[0].root
+	n6, r6 := ix.fams[1].eng.Nodes, ix.fams[1].root
+	entries := ix.entries
+	for i, q := range routes {
+		switch q.Prefix.Family() {
+		case prefix.IPv4:
+			dst[i] = validateOn(n4, r4, entries, q.Prefix, q.Origin)
+		case prefix.IPv6:
+			dst[i] = validateOn(n6, r6, entries, q.Prefix, q.Origin)
+		default:
+			dst[i] = NotFound
+		}
+	}
+	return dst
+}
+
+// batchBlock is the parallel batch work-unit size: big enough that channel
+// handoff cost vanishes, small enough to level skew between workers.
+const batchBlock = 512
+
+// ValidateBatchParallel is ValidateBatch fanned out over a fixed pool of
+// exactly min(workers, blocks) goroutines draining route blocks from a
+// channel — the Compress worker-pool pattern. Workers write disjoint dst
+// ranges, so the result is identical to the serial batch. Values < 2 (or
+// batches of one block) run serially.
+func (ix *Index) ValidateBatchParallel(routes []Route, dst []State, workers int) []State {
+	if cap(dst) < len(routes) {
+		dst = make([]State, len(routes))
+	} else {
+		dst = dst[:len(routes)]
+	}
+	blocks := (len(routes) + batchBlock - 1) / batchBlock
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers < 2 {
+		return ix.ValidateBatch(routes, dst)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lo := range jobs {
+				hi := min(lo+batchBlock, len(routes))
+				ix.ValidateBatch(routes[lo:hi], dst[lo:hi])
+			}
+		}()
+	}
+	for lo := 0; lo < len(routes); lo += batchBlock {
+		jobs <- lo
+	}
+	close(jobs)
+	wg.Wait()
+	return dst
+}
+
+// appendVRPs reconstructs the indexed VRP set in per-family canonical
+// prefix order. LiveIndex compaction rebuilds from it.
+func (ix *Index) appendVRPs(dst []rpki.VRP) []rpki.VRP {
+	for slot := range ix.fams {
+		f := &ix.fams[slot]
+		if len(f.eng.Nodes) == 0 {
+			continue
+		}
+		rootPfx, err := prefix.Make(slotFamily(slot), 0, 0, 0)
+		if err != nil {
+			panic(err) // unreachable: slotFamily yields valid families
+		}
+		f.eng.Walk(f.root, rootPfx, func(idx int32, p prefix.Prefix) {
+			sp := f.eng.Nodes[idx].Val
+			for _, e := range ix.entries[sp.off : sp.off+sp.n] {
+				dst = append(dst, rpki.VRP{Prefix: p, MaxLength: e.maxLength, AS: e.as})
+			}
+		})
+	}
+	return dst
+}

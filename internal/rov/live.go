@@ -1,0 +1,179 @@
+package rov
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// LiveIndex is a validation table that follows an RTR feed: announce and
+// withdraw deltas apply in O(delta · prefix bits) — never a rebuild of the
+// full set — while readers validate lock-free against immutable snapshots.
+//
+// The trick is that the arena is append-only and snapshots are persistent
+// in the functional-data-structure sense. A published *Index is never
+// mutated: Apply clones the nodes along each touched path to the slab tail
+// (path copying), hangs the modified terminal span off the copies, and
+// installs a new root, all in a new Index value that shares the slab
+// backing arrays with its predecessor. Readers that loaded the old snapshot
+// keep walking the old root over the old nodes; the atomic pointer swap
+// publishes the new root with a happens-before edge over the appends.
+// Superseded nodes and relocated spans become garbage in the shared slabs;
+// when garbage outweighs live data, Apply compacts by rebuilding into fresh
+// slabs (amortized O(prefix bits) per applied delta entry), leaving old
+// snapshots intact.
+type LiveIndex struct {
+	mu   sync.Mutex // serializes writers (Apply, compaction)
+	snap atomic.Pointer[Index]
+
+	// Writer-side garbage accounting, guarded by mu: slab cells no longer
+	// reachable from the *current* snapshot's roots.
+	garbageNodes   int
+	garbageEntries int
+}
+
+// NewLiveIndex builds a live table over the set's VRPs. Seeding with an
+// empty set and applying the first full sync as one announce delta is
+// equally valid.
+func NewLiveIndex(s *rpki.Set) *LiveIndex {
+	l := &LiveIndex{}
+	l.snap.Store(NewIndex(s))
+	return l
+}
+
+// Snapshot returns the current immutable index. The snapshot stays valid —
+// and keeps answering with its table version — for as long as the caller
+// holds it, regardless of later Apply calls.
+func (l *LiveIndex) Snapshot() *Index { return l.snap.Load() }
+
+// Len returns the number of VRPs in the current table.
+func (l *LiveIndex) Len() int { return l.Snapshot().Len() }
+
+// Validate classifies (p, origin) against the current table.
+func (l *LiveIndex) Validate(p prefix.Prefix, origin rpki.ASN) State {
+	return l.Snapshot().Validate(p, origin)
+}
+
+// ValidateBatch classifies a batch against one consistent table version.
+func (l *LiveIndex) ValidateBatch(routes []Route, dst []State) []State {
+	return l.Snapshot().ValidateBatch(routes, dst)
+}
+
+// Apply installs one RTR delta: announced VRPs are added, withdrawn VRPs
+// removed, in that order (an RTR update may announce and withdraw the same
+// VRP; withdraw wins, matching the rtr.Client table semantics). Announcing
+// a VRP already in the table and withdrawing one that is absent are no-ops.
+// The cost is O((len(announce)+len(withdraw)) · prefix bits) amortized; the
+// set size never enters.
+func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.snap.Load()
+	nw := &Index{fams: old.fams, entries: old.entries, size: old.size}
+	for _, v := range announce {
+		l.announce(nw, v)
+	}
+	for _, v := range withdraw {
+		l.withdraw(nw, v)
+	}
+	if l.needCompact(nw) {
+		nw = newIndexFromVRPs(nw.appendVRPs(make([]rpki.VRP, 0, nw.size)))
+		l.garbageNodes, l.garbageEntries = 0, 0
+	}
+	l.snap.Store(nw)
+}
+
+// announce adds one VRP to the in-construction snapshot.
+func (l *LiveIndex) announce(nw *Index, v rpki.VRP) {
+	f := &nw.fams[famSlot(v.Prefix.Family())]
+	e := entry{maxLength: v.MaxLength, as: v.AS}
+	if idx := f.eng.PathFind(f.root, v.Prefix); idx >= 0 {
+		sp := f.eng.Nodes[idx].Val
+		for _, have := range nw.entries[sp.off : sp.off+sp.n] {
+			if have == e {
+				return // already in the table
+			}
+		}
+	}
+	idx := l.pathCopy(f, v.Prefix)
+	sp := f.eng.Nodes[idx].Val
+	// Relocate the span to the slab tail with the new entry appended; the
+	// old span cells become garbage (still read by older snapshots).
+	off := int32(len(nw.entries))
+	nw.entries = append(nw.entries, nw.entries[sp.off:sp.off+sp.n]...)
+	nw.entries = append(nw.entries, e)
+	f.eng.Nodes[idx].Val = span{off: off, n: sp.n + 1}
+	l.garbageEntries += int(sp.n)
+	nw.size++
+}
+
+// withdraw removes one VRP from the in-construction snapshot.
+func (l *LiveIndex) withdraw(nw *Index, v rpki.VRP) {
+	f := &nw.fams[famSlot(v.Prefix.Family())]
+	idx := f.eng.PathFind(f.root, v.Prefix)
+	if idx < 0 {
+		return
+	}
+	sp := f.eng.Nodes[idx].Val
+	e := entry{maxLength: v.MaxLength, as: v.AS}
+	pos := int32(-1)
+	for i, have := range nw.entries[sp.off : sp.off+sp.n] {
+		if have == e {
+			pos = int32(i)
+			break
+		}
+	}
+	if pos < 0 {
+		return // not in the table
+	}
+	nidx := l.pathCopy(f, v.Prefix)
+	if sp.n == 1 {
+		// Span emptied. The node chain stays as structural garbage until
+		// compaction prunes it.
+		f.eng.Nodes[nidx].Val = span{}
+	} else {
+		off := int32(len(nw.entries))
+		nw.entries = append(nw.entries, nw.entries[sp.off:sp.off+pos]...)
+		nw.entries = append(nw.entries, nw.entries[sp.off+pos+1:sp.off+sp.n]...)
+		f.eng.Nodes[nidx].Val = span{off: off, n: sp.n - 1}
+	}
+	l.garbageEntries += int(sp.n)
+	nw.size--
+}
+
+// pathCopy clones the nodes along p's path — creating the ones that do not
+// exist — onto the slab tail, reroots the family at the cloned root, and
+// returns the new terminal's index. Nothing reachable from any published
+// snapshot is written.
+func (l *LiveIndex) pathCopy(f *famIndex, p prefix.Prefix) int32 {
+	e := &f.eng
+	cur := e.Clone(f.root)
+	l.garbageNodes++
+	f.root = cur
+	for depth := uint8(0); depth < p.Len(); depth++ {
+		bit := p.Bit(depth)
+		var next int32
+		if c := e.Nodes[cur].Children[bit]; c != core.NoChild {
+			next = e.Clone(c)
+			l.garbageNodes++
+		} else {
+			next = e.Alloc(span{})
+		}
+		e.Nodes[cur].Children[bit] = next
+		cur = next
+	}
+	return cur
+}
+
+// needCompact reports whether superseded slab cells outweigh live ones.
+// The floors keep small tables from compacting on every delta.
+func (l *LiveIndex) needCompact(nw *Index) bool {
+	totalNodes := len(nw.fams[0].eng.Nodes) + len(nw.fams[1].eng.Nodes)
+	if 2*l.garbageNodes > totalNodes && totalNodes > 1024 {
+		return true
+	}
+	return 2*l.garbageEntries > len(nw.entries) && len(nw.entries) > 1024
+}

@@ -1,0 +1,327 @@
+package rov
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// randomVRP draws a VRP from a deliberately small space (few origins, short
+// prefixes in both families) so deltas collide with existing state often.
+func randomVRP(rng *rand.Rand) rpki.VRP {
+	if rng.Intn(3) == 0 { // IPv6
+		l := uint8(8 + rng.Intn(40))
+		p, err := prefix.Make(prefix.IPv6, rng.Uint64(), 0, l)
+		if err != nil {
+			panic(err)
+		}
+		ml := l + uint8(rng.Intn(int(64-l)+1))
+		return rpki.VRP{Prefix: p, MaxLength: ml, AS: rpki.ASN(rng.Intn(6))}
+	}
+	l := uint8(4 + rng.Intn(21))
+	p, err := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+	if err != nil {
+		panic(err)
+	}
+	ml := l + uint8(rng.Intn(int(32-l)+1))
+	return rpki.VRP{Prefix: p, MaxLength: ml, AS: rpki.ASN(rng.Intn(6))}
+}
+
+// randomProbe draws a query route near the randomVRP space.
+func randomProbe(rng *rand.Rand) Route {
+	v := randomVRP(rng)
+	p := v.Prefix
+	// Sometimes probe below the VRP (inside maxLength range or beyond).
+	for p.Len() < p.MaxLen() && rng.Intn(3) == 0 {
+		p = p.Child(uint8(rng.Intn(2)))
+	}
+	return Route{Prefix: p, Origin: rpki.ASN(rng.Intn(6))}
+}
+
+// TestDifferentialLiveIndexVsReference is the tentpole correctness test:
+// the arena Index, the LiveIndex after an arbitrary delta history, and the
+// linear Reference must agree state-for-state on randomized IPv4+IPv6
+// workloads — after every applied delta, not just at the end.
+func TestDifferentialLiveIndexVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		state := map[rpki.VRP]struct{}{}
+		var init []rpki.VRP
+		for i := 0; i < rng.Intn(40); i++ {
+			v := randomVRP(rng)
+			init = append(init, v)
+			state[v] = struct{}{}
+		}
+		live := NewLiveIndex(rpki.NewSet(init))
+		for step := 0; step < 12; step++ {
+			var ann, wd []rpki.VRP
+			for i := 0; i < rng.Intn(6); i++ {
+				ann = append(ann, randomVRP(rng)) // may duplicate existing state
+			}
+			for v := range state {
+				if rng.Intn(5) == 0 {
+					wd = append(wd, v)
+				}
+				if len(wd) >= 4 {
+					break
+				}
+			}
+			if rng.Intn(2) == 0 {
+				wd = append(wd, randomVRP(rng)) // likely-absent withdraw
+			}
+			live.Apply(ann, wd)
+			for _, v := range ann {
+				state[v] = struct{}{}
+			}
+			for _, v := range wd {
+				delete(state, v)
+			}
+
+			cur := make([]rpki.VRP, 0, len(state))
+			for v := range state {
+				cur = append(cur, v)
+			}
+			set := rpki.NewSet(cur)
+			ix, ref := NewIndex(set), NewReference(set)
+			if live.Len() != set.Len() || ix.Len() != set.Len() {
+				t.Fatalf("trial %d step %d: live %d / index %d / set %d VRPs",
+					trial, step, live.Len(), ix.Len(), set.Len())
+			}
+			var routes []Route
+			for q := 0; q < 120; q++ {
+				routes = append(routes, randomProbe(rng))
+			}
+			for _, v := range cur { // exact-prefix probes with right and wrong origin
+				routes = append(routes,
+					Route{Prefix: v.Prefix, Origin: v.AS},
+					Route{Prefix: v.Prefix, Origin: v.AS + 1})
+			}
+			liveStates := live.ValidateBatch(routes, nil)
+			ixStates := ix.ValidateBatch(routes, nil)
+			for i, q := range routes {
+				want := ref.Validate(q.Prefix, q.Origin)
+				if ixStates[i] != want {
+					t.Fatalf("trial %d step %d: Index.Validate(%s, %v) = %v, reference %v",
+						trial, step, q.Prefix, q.Origin, ixStates[i], want)
+				}
+				if liveStates[i] != want {
+					t.Fatalf("trial %d step %d: LiveIndex.Validate(%s, %v) = %v, reference %v",
+						trial, step, q.Prefix, q.Origin, liveStates[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveIndexDeltaEdgeCases pins the no-op and boundary behaviors of
+// Apply against a from-scratch NewIndex after every delta.
+func TestLiveIndexDeltaEdgeCases(t *testing.T) {
+	v1 := rpki.VRP{Prefix: mp("168.122.0.0/16"), MaxLength: 24, AS: 111}
+	v1tight := rpki.VRP{Prefix: mp("168.122.0.0/16"), MaxLength: 16, AS: 111}
+	v2 := rpki.VRP{Prefix: mp("87.254.32.0/19"), MaxLength: 19, AS: 31283}
+	v6 := rpki.VRP{Prefix: mp("2001:db8::/32"), MaxLength: 48, AS: 64496}
+
+	check := func(l *LiveIndex, want ...rpki.VRP) {
+		t.Helper()
+		set := rpki.NewSet(want)
+		if l.Len() != set.Len() {
+			t.Fatalf("live has %d VRPs, want %d", l.Len(), set.Len())
+		}
+		ref := NewReference(set)
+		rng := rand.New(rand.NewSource(7))
+		for q := 0; q < 300; q++ {
+			r := randomProbe(rng)
+			if got, wantS := l.Validate(r.Prefix, r.Origin), ref.Validate(r.Prefix, r.Origin); got != wantS {
+				t.Fatalf("Validate(%s, %v) = %v, want %v", r.Prefix, r.Origin, got, wantS)
+			}
+		}
+		for _, v := range want {
+			if got := l.Validate(v.Prefix, v.AS); got != Valid {
+				t.Fatalf("Validate(%s, %v) = %v, want Valid", v.Prefix, v.AS, got)
+			}
+		}
+	}
+
+	l := NewLiveIndex(rpki.NewSet(nil))
+	check(l)
+	l.Apply([]rpki.VRP{v1, v2, v6}, nil) // first announce into an empty table
+	check(l, v1, v2, v6)
+	l.Apply([]rpki.VRP{v1}, nil) // duplicate announce: no-op
+	check(l, v1, v2, v6)
+	l.Apply(nil, []rpki.VRP{v1tight}) // withdraw of absent sibling entry: no-op
+	check(l, v1, v2, v6)
+	l.Apply([]rpki.VRP{v1tight}, nil) // second entry at the same prefix node
+	check(l, v1, v1tight, v2, v6)
+	l.Apply(nil, []rpki.VRP{v1}) // withdraw one of two entries at a node
+	check(l, v1tight, v2, v6)
+	l.Apply([]rpki.VRP{v2}, []rpki.VRP{v2}) // announce+withdraw in one delta: withdraw wins
+	check(l, v1tight, v6)
+	l.Apply(nil, []rpki.VRP{v1tight, v6}) // back to empty
+	check(l)
+	l.Apply(nil, []rpki.VRP{v1}) // withdraw from empty: no-op
+	check(l)
+}
+
+// TestLiveIndexSnapshotPersistence pins the snapshot-swap contract: a
+// snapshot taken before a delta keeps answering with its own table version
+// after arbitrarily many later Applies (including compactions).
+func TestLiveIndexSnapshotPersistence(t *testing.T) {
+	v1 := rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 16, AS: 1}
+	l := NewLiveIndex(rpki.NewSet([]rpki.VRP{v1}))
+	old := l.Snapshot()
+	q := mp("10.5.0.0/16")
+
+	if got := old.Validate(q, 1); got != Valid {
+		t.Fatalf("pre-delta snapshot: %v", got)
+	}
+	// Churn hard enough to force several compactions.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, []rpki.VRP{v})
+	}
+	l.Apply(nil, []rpki.VRP{v1})
+	if got := l.Validate(q, 1); got != NotFound {
+		t.Fatalf("live after withdraw: %v, want NotFound", got)
+	}
+	if got := old.Validate(q, 1); got != Valid {
+		t.Fatalf("old snapshot mutated by later deltas: %v, want Valid", got)
+	}
+	if old.Len() != 1 || l.Len() != 0 {
+		t.Fatalf("Len: snapshot %d (want 1), live %d (want 0)", old.Len(), l.Len())
+	}
+}
+
+// TestLiveIndexCompaction drives enough delta churn through a small table
+// to cross the compaction thresholds repeatedly and asserts the shared
+// slabs stay bounded — the arena must not grow with the number of applied
+// deltas, only with the live set.
+func TestLiveIndexCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var base []rpki.VRP
+	for i := 0; i < 50; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l := NewLiveIndex(rpki.NewSet(base))
+	for i := 0; i < 5000; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+	}
+	snap := l.Snapshot()
+	total := len(snap.fams[0].eng.Nodes) + len(snap.fams[1].eng.Nodes)
+	// 10000 applied deltas × ~30-bit paths would be ~300k nodes without
+	// compaction; the live set needs a few thousand at most.
+	if total > 40000 {
+		t.Fatalf("node slabs grew with delta count: %d nodes for %d live VRPs", total, snap.Len())
+	}
+	if len(snap.entries) > 40000 {
+		t.Fatalf("entry slab grew with delta count: %d", len(snap.entries))
+	}
+	// And the table is still exactly base (every churned VRP was withdrawn;
+	// collisions with base VRPs re-announced them, so compare as sets).
+	want := rpki.NewSet(base)
+	ref := NewReference(want)
+	if l.Len() != want.Len() {
+		t.Fatalf("live %d VRPs, want %d", l.Len(), want.Len())
+	}
+	for q := 0; q < 500; q++ {
+		r := randomProbe(rng)
+		if got, wantS := l.Validate(r.Prefix, r.Origin), ref.Validate(r.Prefix, r.Origin); got != wantS {
+			t.Fatalf("after churn: Validate(%s, %v) = %v, want %v", r.Prefix, r.Origin, got, wantS)
+		}
+	}
+}
+
+// TestLiveIndexConcurrentReaders runs lock-free readers against a stream of
+// writer deltas; under -race this pins the snapshot-swap memory contract
+// (readers never observe a partially applied delta or torn slab).
+func TestLiveIndexConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var base []rpki.VRP
+	for i := 0; i < 40; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l := NewLiveIndex(rpki.NewSet(base))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				ref := NewReference(rpki.NewSet(snap.appendVRPs(nil)))
+				for q := 0; q < 50; q++ {
+					p := randomProbe(rng)
+					if got, want := snap.Validate(p.Prefix, p.Origin), ref.Validate(p.Prefix, p.Origin); got != want {
+						t.Errorf("snapshot inconsistent: Validate(%s, %v) = %v, want %v", p.Prefix, p.Origin, got, want)
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+	for i := 0; i < 1500; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestValidateBatchMatchesValidate pins the batch APIs (serial and
+// parallel) to the single-query path, including dst reuse.
+func TestValidateBatchMatchesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var vrps []rpki.VRP
+	for i := 0; i < 300; i++ {
+		vrps = append(vrps, randomVRP(rng))
+	}
+	ix := NewIndex(rpki.NewSet(vrps))
+	var routes []Route
+	for q := 0; q < 4000; q++ {
+		routes = append(routes, randomProbe(rng))
+	}
+	routes = append(routes, Route{}) // zero Route: invalid prefix → NotFound
+	want := make([]State, len(routes))
+	for i, q := range routes {
+		want[i] = ix.Validate(q.Prefix, q.Origin)
+	}
+	got := ix.ValidateBatch(routes, nil)
+	for i := range routes {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// dst reuse must not reallocate.
+	reused := ix.ValidateBatch(routes, got)
+	if &reused[0] != &got[0] {
+		t.Fatal("batch reallocated a sufficient dst")
+	}
+	for _, workers := range []int{2, 4, 9} {
+		par := ix.ValidateBatchParallel(routes, nil, workers)
+		for i := range routes {
+			if par[i] != want[i] {
+				t.Fatalf("parallel(%d)[%d] = %v, want %v", workers, i, par[i], want[i])
+			}
+		}
+	}
+	// Degenerate parallel calls fall back to serial.
+	small := ix.ValidateBatchParallel(routes[:3], nil, 8)
+	for i := range small {
+		if small[i] != want[i] {
+			t.Fatalf("small parallel[%d] = %v, want %v", i, small[i], want[i])
+		}
+	}
+}

@@ -15,9 +15,12 @@
 // forged-origin subprefix hijack is *Valid* here whenever a non-minimal ROA
 // authorizes the hijacked subprefix (§4).
 //
-// Two implementations are provided: Index, a binary-trie ancestor walk used
-// everywhere, and Reference, a linear scan used to cross-check Index in
-// property tests.
+// Three implementations are provided. Index (index.go) is the serving-path
+// validator: an arena trie on the core engine with a parallel value slab,
+// answering single queries and batches. LiveIndex (live.go) wraps it with
+// in-place RTR delta updates under an atomic snapshot swap. Reference
+// (below) is a linear scan used to cross-check both in property and fuzz
+// tests.
 package rov
 
 import (
@@ -51,76 +54,11 @@ func (s State) String() string {
 	}
 }
 
-// entry is the payload stored at a trie node: the VRPs whose prefix equals
-// the node's prefix.
-type entry struct {
-	maxLength uint8
-	as        rpki.ASN
-}
-
-type inode struct {
-	children [2]*inode
-	entries  []entry
-}
-
-// Index answers RFC 6811 queries in O(route prefix length). Build one with
-// NewIndex; an Index is immutable and safe for concurrent readers.
-type Index struct {
-	roots map[prefix.Family]*inode
-	size  int
-}
-
-// NewIndex builds a validation index over the set's VRPs.
-func NewIndex(s *rpki.Set) *Index {
-	ix := &Index{roots: map[prefix.Family]*inode{
-		prefix.IPv4: new(inode),
-		prefix.IPv6: new(inode),
-	}}
-	for _, v := range s.VRPs() {
-		n := ix.roots[v.Prefix.Family()]
-		for depth := uint8(0); depth < v.Prefix.Len(); depth++ {
-			bit := v.Prefix.Bit(depth)
-			if n.children[bit] == nil {
-				n.children[bit] = new(inode)
-			}
-			n = n.children[bit]
-		}
-		n.entries = append(n.entries, entry{maxLength: v.MaxLength, as: v.AS})
-		ix.size++
-	}
-	return ix
-}
-
-// Len returns the number of indexed VRPs.
-func (ix *Index) Len() int { return ix.size }
-
-// Validate classifies route (p, origin) per RFC 6811.
-func (ix *Index) Validate(p prefix.Prefix, origin rpki.ASN) State {
-	state := NotFound
-	n := ix.roots[p.Family()]
-	for depth := uint8(0); n != nil; depth++ {
-		for _, e := range n.entries {
-			// Every entry on the ancestor path covers p by construction.
-			if state == NotFound {
-				state = Invalid
-			}
-			if e.as == origin && p.Len() <= e.maxLength {
-				return Valid
-			}
-		}
-		if depth >= p.Len() {
-			break
-		}
-		n = n.children[p.Bit(depth)]
-	}
-	return state
-}
-
-// ValidateRoute is a convenience wrapper over (prefix, origin) pairs
-// expressed as a VRP-shaped route.
-func (ix *Index) ValidateRoute(p prefix.Prefix, origin rpki.ASN) (State, bool) {
-	s := ix.Validate(p, origin)
-	return s, s == Valid
+// Route is one origin-validation query: an announced prefix and the origin
+// AS the validator sees for it.
+type Route struct {
+	Prefix prefix.Prefix
+	Origin rpki.ASN
 }
 
 // Reference is the obviously-correct linear-scan validator used to

@@ -16,6 +16,17 @@ type Client struct {
 	// Version is the protocol version to speak (Version1 by default).
 	Version byte
 
+	// OnDelta, when set, is invoked after each completed update with the
+	// VRPs the update actually added to and removed from the local table
+	// (announces already present and withdrawals of absent VRPs are
+	// excluded; on a full reset the delta is relative to the previous
+	// table). It runs on the goroutine that called Sync/Reset, after the
+	// new state is committed, and lets a validation index — rov.LiveIndex —
+	// follow the table in O(delta) instead of rebuilding from Set() after
+	// every sync. Set it before the first sync and do not change it while
+	// syncs are in flight.
+	OnDelta func(announced, withdrawn []rpki.VRP)
+
 	conn net.Conn
 
 	mu        sync.Mutex
@@ -217,14 +228,48 @@ func (c *Client) readUpdate(full bool) error {
 				return fmt.Errorf("rtr: End of Data session %d != Cache Response session %d", p.SessionID, session)
 			}
 			c.mu.Lock()
+			hook := c.OnDelta
+			var ann, wd []rpki.VRP
 			if full {
-				c.vrps = make(map[rpki.VRP]struct{}, len(staged))
-			}
-			for v := range staged {
-				c.vrps[v] = struct{}{}
-			}
-			for _, v := range withdrawals {
-				delete(c.vrps, v)
+				// Replace the table; the delta reported to OnDelta is the
+				// difference against the table being replaced.
+				next := make(map[rpki.VRP]struct{}, len(staged))
+				for v := range staged {
+					next[v] = struct{}{}
+				}
+				for _, v := range withdrawals {
+					delete(next, v)
+				}
+				if hook != nil {
+					for v := range c.vrps {
+						if _, ok := next[v]; !ok {
+							wd = append(wd, v)
+						}
+					}
+					for v := range next {
+						if _, ok := c.vrps[v]; !ok {
+							ann = append(ann, v)
+						}
+					}
+				}
+				c.vrps = next
+			} else {
+				for v := range staged {
+					if _, ok := c.vrps[v]; !ok {
+						c.vrps[v] = struct{}{}
+						if hook != nil {
+							ann = append(ann, v)
+						}
+					}
+				}
+				for _, v := range withdrawals {
+					if _, ok := c.vrps[v]; ok {
+						delete(c.vrps, v)
+						if hook != nil {
+							wd = append(wd, v)
+						}
+					}
+				}
 			}
 			c.sessionID = session
 			c.serial = p.Serial
@@ -234,6 +279,9 @@ func (c *Client) readUpdate(full bool) error {
 				c.haveTimers = true
 			}
 			c.mu.Unlock()
+			if hook != nil && (len(ann) > 0 || len(wd) > 0) {
+				hook(ann, wd)
+			}
 			return nil
 		case *ErrorReport:
 			return p
