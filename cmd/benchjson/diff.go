@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// diffRow is one benchmark's old-vs-new comparison. A nil *metricDelta means
+// the metric is absent from one side or both.
+type diffRow struct {
+	Key    string // package-qualified benchmark name
+	Ns     *metricDelta
+	Bytes  *metricDelta
+	Allocs *metricDelta
+	// OnlyOld/OnlyNew mark benchmarks present in just one run (added or
+	// removed since the old archive).
+	OnlyOld, OnlyNew bool
+}
+
+type metricDelta struct {
+	Old, New float64
+	// Pct is the relative change in percent; +Inf when Old is zero and New
+	// is not.
+	Pct float64
+}
+
+func delta(old, cur *float64) *metricDelta {
+	if old == nil || cur == nil {
+		return nil
+	}
+	d := &metricDelta{Old: *old, New: *cur}
+	switch {
+	case *old == *cur:
+		d.Pct = 0
+	case *old == 0:
+		d.Pct = math.Inf(1)
+	default:
+		d.Pct = 100 * (*cur - *old) / *old
+	}
+	return d
+}
+
+// loadResults reads one archived run (the JSON array make bench writes).
+func loadResults(path string) ([]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []result
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+// diffResults joins two runs on package+name and computes per-metric deltas.
+// It returns the rows sorted by key and the worst (most positive) ns/op
+// regression in percent across benchmarks present in both runs.
+func diffResults(old, cur []result) (rows []diffRow, worstNsRegression float64) {
+	key := func(r result) string {
+		if r.Package == "" {
+			return r.Name
+		}
+		return r.Package + "." + r.Name
+	}
+	oldBy := make(map[string]result, len(old))
+	for _, r := range old {
+		oldBy[key(r)] = r
+	}
+	seen := make(map[string]bool, len(cur))
+	worstNsRegression = math.Inf(-1)
+	for _, c := range cur {
+		k := key(c)
+		seen[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			rows = append(rows, diffRow{Key: k, OnlyNew: true})
+			continue
+		}
+		row := diffRow{
+			Key:    k,
+			Ns:     delta(o.NsPerOp, c.NsPerOp),
+			Bytes:  delta(o.BytesPerOp, c.BytesPerOp),
+			Allocs: delta(o.AllocsPerOp, c.AllocsPerOp),
+		}
+		if row.Ns != nil && row.Ns.Pct > worstNsRegression {
+			worstNsRegression = row.Ns.Pct
+		}
+		rows = append(rows, row)
+	}
+	for _, o := range old {
+		if k := key(o); !seen[k] {
+			rows = append(rows, diffRow{Key: k, OnlyOld: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	if math.IsInf(worstNsRegression, -1) {
+		worstNsRegression = 0
+	}
+	return rows, worstNsRegression
+}
+
+// printDiff renders the delta table. Values are printed in the benchmark's
+// native units (ns/op, B/op, allocs/op) with the relative change alongside.
+func printDiff(w io.Writer, oldPath, newPath string, rows []diffRow) {
+	fmt.Fprintf(w, "benchmark deltas: %s -> %s\n", oldPath, newPath)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op\tΔns\tB/op\tΔB\tallocs/op\tΔallocs")
+	cell := func(d *metricDelta) (string, string) {
+		if d == nil {
+			return "-", "-"
+		}
+		return formatValue(d.New), formatPct(d.Pct)
+	}
+	for _, r := range rows {
+		switch {
+		case r.OnlyNew:
+			fmt.Fprintf(tw, "%s\t(new)\t\t\t\t\t\n", r.Key)
+		case r.OnlyOld:
+			fmt.Fprintf(tw, "%s\t(removed)\t\t\t\t\t\n", r.Key)
+		default:
+			ns, dns := cell(r.Ns)
+			by, dby := cell(r.Bytes)
+			al, dal := cell(r.Allocs)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", r.Key, ns, dns, by, dby, al, dal)
+		}
+	}
+	tw.Flush()
+}
+
+// formatValue prints a metric compactly: integers without decimals, large
+// values with engineering suffixes so columns stay readable.
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func formatPct(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}

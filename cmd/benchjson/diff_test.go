@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func TestDiffResults(t *testing.T) {
+	old := []result{
+		{Package: "repro/internal/rov", Name: "BenchmarkIndexBuild", NsPerOp: fp(1000), BytesPerOp: fp(4096), AllocsPerOp: fp(100)},
+		{Package: "repro/internal/rov", Name: "BenchmarkValidate", NsPerOp: fp(80), AllocsPerOp: fp(0)},
+		{Package: "repro/internal/core", Name: "BenchmarkGone", NsPerOp: fp(5)},
+	}
+	cur := []result{
+		{Package: "repro/internal/rov", Name: "BenchmarkIndexBuild", NsPerOp: fp(1200), BytesPerOp: fp(2048), AllocsPerOp: fp(100)},
+		{Package: "repro/internal/rov", Name: "BenchmarkValidate", NsPerOp: fp(40), AllocsPerOp: fp(0)},
+		{Package: "repro/internal/core", Name: "BenchmarkFresh", NsPerOp: fp(7)},
+	}
+	rows, worst := diffResults(old, cur)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 common + 1 removed + 1 new)", len(rows))
+	}
+	byKey := map[string]diffRow{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	ib := byKey["repro/internal/rov.BenchmarkIndexBuild"]
+	if ib.Ns == nil || ib.Ns.Pct != 20 {
+		t.Fatalf("IndexBuild ns delta = %+v, want +20%%", ib.Ns)
+	}
+	if ib.Bytes == nil || ib.Bytes.Pct != -50 {
+		t.Fatalf("IndexBuild bytes delta = %+v, want -50%%", ib.Bytes)
+	}
+	if ib.Allocs == nil || ib.Allocs.Pct != 0 {
+		t.Fatalf("IndexBuild allocs delta = %+v, want 0%%", ib.Allocs)
+	}
+	v := byKey["repro/internal/rov.BenchmarkValidate"]
+	if v.Ns == nil || v.Ns.Pct != -50 {
+		t.Fatalf("Validate ns delta = %+v, want -50%%", v.Ns)
+	}
+	if v.Bytes != nil {
+		t.Fatalf("Validate bytes delta = %+v, want nil (absent in both)", v.Bytes)
+	}
+	if !byKey["repro/internal/core.BenchmarkGone"].OnlyOld {
+		t.Fatal("removed benchmark not marked OnlyOld")
+	}
+	if !byKey["repro/internal/core.BenchmarkFresh"].OnlyNew {
+		t.Fatal("added benchmark not marked OnlyNew")
+	}
+	// Worst ns/op regression is IndexBuild's +20% (Validate improved; the
+	// new/removed rows have no delta to compare).
+	if worst != 20 {
+		t.Fatalf("worst regression = %v, want 20", worst)
+	}
+}
+
+func TestDiffResultsZeroOld(t *testing.T) {
+	old := []result{{Name: "BenchmarkX", NsPerOp: fp(0)}}
+	cur := []result{{Name: "BenchmarkX", NsPerOp: fp(3)}}
+	rows, worst := diffResults(old, cur)
+	if rows[0].Ns == nil || !math.IsInf(rows[0].Ns.Pct, 1) {
+		t.Fatalf("zero-baseline delta = %+v, want +inf", rows[0].Ns)
+	}
+	if !math.IsInf(worst, 1) {
+		t.Fatalf("worst = %v, want +inf", worst)
+	}
+}
+
+func TestDiffResultsNoCommon(t *testing.T) {
+	rows, worst := diffResults(
+		[]result{{Name: "BenchmarkA", NsPerOp: fp(1)}},
+		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}})
+	if len(rows) != 2 || worst != 0 {
+		t.Fatalf("rows=%d worst=%v, want 2 rows and worst 0", len(rows), worst)
+	}
+}
+
+func TestPrintDiffRenders(t *testing.T) {
+	rows, _ := diffResults(
+		[]result{{Name: "BenchmarkA", NsPerOp: fp(100), BytesPerOp: fp(1 << 20), AllocsPerOp: fp(3)}},
+		[]result{{Name: "BenchmarkA", NsPerOp: fp(90), BytesPerOp: fp(1 << 19), AllocsPerOp: fp(3)}})
+	var buf bytes.Buffer
+	printDiff(&buf, "old.json", "new.json", rows)
+	out := buf.String()
+	for _, want := range []string{"BenchmarkA", "-10.0%", "-50.0%", "+0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,17 +1,24 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // array, one object per benchmark result, so benchmark runs can be
-// committed and diffed in-repo (make bench writes BENCH_PR3.json with it).
+// committed and diffed in-repo (make bench writes BENCH_PR<N>.json with it).
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH.json
 //	benchjson -in bench.out -out BENCH.json
+//	benchjson -diff [-threshold 15] old.json new.json
 //
 // Standard fields (ns/op, B/op, allocs/op) get their own keys; any extra
 // b.ReportMetric units land in "metrics". Lines that are not benchmark
 // results (pkg:, cpu:, PASS, ...) are skipped, except that pkg: lines set
 // the "package" of subsequent results. benchjson exits nonzero when the
 // input contains no benchmark results at all.
+//
+// With -diff, benchjson instead compares two archived runs (the files make
+// bench writes) and prints a per-benchmark delta table for ns/op, B/op, and
+// allocs/op — the in-repo perf trend across PRs, `make bench-diff`. When
+// -threshold is positive, any benchmark whose ns/op regressed by more than
+// that percentage makes benchjson exit 1, so the diff doubles as a CI gate.
 package main
 
 import (
@@ -41,7 +48,29 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	outPath := flag.String("out", "", "output file (default stdout)")
+	diffMode := flag.Bool("diff", false, "compare two archived runs: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0, "with -diff: exit 1 when any ns/op regression exceeds this percentage (0 disables the gate)")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			log.Fatal("-diff needs exactly two arguments: old.json new.json")
+		}
+		old, err := loadResults(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := loadResults(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, worst := diffResults(old, cur)
+		printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), rows)
+		if *threshold > 0 && worst > *threshold {
+			log.Fatalf("worst ns/op regression %+.1f%% exceeds threshold %.1f%%", worst, *threshold)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inPath != "" {

@@ -41,10 +41,18 @@ func main() {
 	}
 	// The validation index follows the protocol's deltas in place (O(delta)
 	// per update) instead of being rebuilt from the table after every sync.
+	// The client's dispatch loop delivers each applied delta to every
+	// subscriber sequentially, so the index and the counters below stay
+	// consistent with each other without any locking.
 	live := rov.NewLiveIndex(rpki.NewSet(nil))
-	c.OnDelta = func(announced, withdrawn []rpki.VRP) {
+	c.Subscribe(func(announced, withdrawn []rpki.VRP) {
 		live.Apply(announced, withdrawn)
-	}
+	})
+	var announced, withdrawn int
+	c.Subscribe(func(ann, wd []rpki.VRP) {
+		announced += len(ann)
+		withdrawn += len(wd)
+	})
 	serial, err := c.Sync()
 	if err != nil {
 		log.Fatalf("rtrclient: sync: %v", err)
@@ -66,7 +74,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rtrclient: sync: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs (live index updated in place)\n",
-			notified, serial, live.Len())
+		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs (+%d -%d applied since start, live index updated in place)\n",
+			notified, serial, live.Len(), announced, withdrawn)
 	}
 }

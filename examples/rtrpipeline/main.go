@@ -59,12 +59,14 @@ func main() {
 	}
 	defer router.Close()
 	// The router's validation table is a live index fed by the protocol's
-	// deltas: every sync — the initial full one included — flows through
-	// OnDelta and applies in O(delta), never rebuilding the index.
+	// deltas: every sync — the initial full one included — flows through a
+	// Subscribe consumer and applies in O(delta), never rebuilding the
+	// index. The client's dispatch loop owns the connection and delivers
+	// deltas to all subscribers in order, on one goroutine.
 	live := rov.NewLiveIndex(rpki.NewSet(nil))
-	router.OnDelta = func(announced, withdrawn []rpki.VRP) {
+	router.Subscribe(func(announced, withdrawn []rpki.VRP) {
 		live.Apply(announced, withdrawn)
-	}
+	})
 	serial, err := router.Sync()
 	if err != nil {
 		log.Fatal(err)

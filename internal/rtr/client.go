@@ -12,36 +12,80 @@ import (
 
 // Client is the router side of the protocol: it synchronizes a local copy of
 // the cache's VRP set — the table a router consults for origin validation.
+//
+// A single dispatch goroutine, started by NewClient, owns ReadPDU for the
+// connection's lifetime. It reads whole PDUs and routes each one: Serial
+// Notify PDUs go to the coalescing channel returned by Notify, everything
+// else belongs to the at-most-one in-flight Sync/Reset exchange. No other
+// goroutine ever reads from the connection, so no reader can be interrupted
+// mid-PDU and the stream can never lose framing — the failure mode RFC 8210
+// §8 cannot recover from short of tearing the session down. When a read
+// fails, or a PDU arrives that the protocol state cannot accept, the loop
+// records a sticky error, closes the connection, fails any in-flight
+// exchange, and closes Done; every later call fails fast with that error and
+// the caller must reconnect with a fresh Client.
 type Client struct {
-	// Version is the protocol version to speak (Version1 by default).
+	// Version is the protocol version to speak (Version1 by default). Set it
+	// before the first exchange.
 	Version byte
 
-	// OnDelta, when set, is invoked after each completed update with the
-	// VRPs the update actually added to and removed from the local table
-	// (announces already present and withdrawals of absent VRPs are
-	// excluded; on a full reset the delta is relative to the previous
-	// table). It runs on the goroutine that called Sync/Reset, after the
-	// new state is committed, and lets a validation index — rov.LiveIndex —
-	// follow the table in O(delta) instead of rebuilding from Set() after
-	// every sync. Set it before the first sync and do not change it while
-	// syncs are in flight.
+	// OnDelta, when set, receives each completed update's applied delta
+	// exactly like a subscriber registered ahead of all Subscribe consumers.
+	//
+	// Deprecated: use Subscribe, which supports multiple consumers. OnDelta
+	// remains as a thin compatibility wrapper: the dispatch loop delivers to
+	// it first, then to each Subscribe consumer in registration order. Set it
+	// before the first sync and do not change it while syncs are in flight.
 	OnDelta func(announced, withdrawn []rpki.VRP)
 
 	conn net.Conn
+
+	// reqMu serializes Sync/Reset callers: the protocol allows at most one
+	// outstanding query per connection, so concurrent callers simply queue.
+	reqMu sync.Mutex
 
 	mu        sync.Mutex
 	sessionID uint16
 	serial    uint32
 	haveState bool
 	vrps      map[rpki.VRP]struct{}
-	// notify records the highest serial seen in a Serial Notify since the
-	// last sync.
-	notifySerial uint32
-	notified     bool
 	// refresh/retry/expire hold the timers from the most recent version-1
 	// End of Data PDU (seconds); haveTimers reports whether one was seen.
 	refresh, retry, expire uint32
 	haveTimers             bool
+	// subs are the Subscribe consumers, invoked in registration order.
+	subs []func(announced, withdrawn []rpki.VRP)
+	// req is the at-most-one in-flight exchange; nil while idle.
+	req *request
+	// err is the sticky failure recorded when the dispatch loop dies.
+	err error
+
+	notifyCh chan uint32
+	done     chan struct{}
+}
+
+// request is one Sync/Reset exchange routed through the dispatch loop. The
+// requesting goroutine creates it, registers it, writes the query, and blocks
+// on result; the dispatch loop owns the parsing state and finishes the
+// request exactly once.
+type request struct {
+	full bool
+
+	once   sync.Once
+	result chan error // buffered: finish never blocks the dispatch loop
+
+	// Exchange state below is owned by the dispatch goroutine.
+	started     bool // Cache Response received
+	session     uint16
+	staged      map[rpki.VRP]struct{}
+	withdrawals []rpki.VRP
+}
+
+// finish resolves the exchange. Both the dispatch loop (normal completion)
+// and fail (connection death racing a completion) may call it; the first
+// outcome wins.
+func (r *request) finish(err error) {
+	r.once.Do(func() { r.result <- err })
 }
 
 // Dial connects to a cache at addr ("host:port").
@@ -53,19 +97,67 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(nc), nil
 }
 
-// NewClient wraps an established connection (useful with net.Pipe in tests).
+// NewClient wraps an established connection (useful with net.Pipe in tests)
+// and starts the dispatch goroutine that owns all reads from it.
 func NewClient(nc net.Conn) *Client {
-	return &Client{Version: Version1, conn: nc, vrps: make(map[rpki.VRP]struct{})}
+	c := &Client{
+		Version:  Version1,
+		conn:     nc,
+		vrps:     make(map[rpki.VRP]struct{}),
+		notifyCh: make(chan uint32, 1),
+		done:     make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
 }
 
-// Close closes the connection.
+// Close closes the connection; the dispatch loop observes the closed socket,
+// fails any in-flight exchange, and closes Done.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// SetReadDeadline sets the deadline for reads on the underlying connection;
-// the zero time clears it. The Poller uses an already-passed deadline to
-// kick a blocked WaitNotify off the connection when its Refresh interval
-// expires without a Serial Notify.
-func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+// Notify returns the channel on which the dispatch loop delivers Serial
+// Notify PDUs. It has capacity 1 and coalesces: when notifies arrive faster
+// than the consumer drains them, a pending serial is replaced by the newer
+// one (the cache's serials are cumulative, so only the latest matters). The
+// channel is never closed — select on Done to observe connection death.
+func (c *Client) Notify() <-chan uint32 { return c.notifyCh }
+
+// Done returns a channel that is closed when the dispatch loop has exited —
+// after a read error, an idle-state protocol violation, or Close. Err
+// reports why.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the sticky error that terminated the dispatch loop, or nil
+// while the loop is still running.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Subscribe registers fn as a delta consumer: after every completed update it
+// receives the VRPs the update actually added to and removed from the local
+// table (announces already present and withdrawals of absent VRPs are
+// excluded; on a full reset the delta is relative to the table being
+// replaced). This is how a validation index — rov.LiveIndex — follows the
+// table in O(delta) instead of rebuilding from Set after every sync.
+//
+// Delivery-order guarantee: the dispatch goroutine invokes every consumer
+// sequentially in registration order (the deprecated OnDelta hook first),
+// with the deltas of successive updates delivered in commit order, and the
+// full delivery completes before the Sync or Reset call that produced it
+// returns. No two invocations ever overlap, so consumers need no locking
+// against one another. A consumer must not call back into the Client and
+// should return promptly: while it runs, no further PDUs are read from the
+// connection.
+//
+// A consumer registered after updates have been applied sees only subsequent
+// deltas; register before the first sync to observe the full table history.
+func (c *Client) Subscribe(fn func(announced, withdrawn []rpki.VRP)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, fn)
+}
 
 // Timers returns the Refresh/Retry/Expire intervals advertised by the cache
 // in the most recent version-1 End of Data PDU. ok is false when none has
@@ -115,35 +207,33 @@ func (c *Client) Len() int {
 }
 
 // Reset performs a full synchronization (Reset Query → Cache Response →
-// prefix PDUs → End of Data).
+// prefix PDUs → End of Data). Concurrent Reset/Sync callers are serialized.
 func (c *Client) Reset() error {
-	if err := WritePDU(c.conn, c.Version, &ResetQuery{}); err != nil {
-		return err
-	}
-	return c.readUpdate(true)
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	return c.exchange(true, &ResetQuery{})
 }
 
 // Sync brings the client up to date: an incremental Serial Query when state
 // exists, falling back to a full Reset on Cache Reset. It returns the serial
-// synchronized to.
+// synchronized to. Concurrent Sync/Reset callers are serialized.
 func (c *Client) Sync() (uint32, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	c.mu.Lock()
 	have := c.haveState
 	q := &SerialQuery{SessionID: c.sessionID, Serial: c.serial}
 	c.mu.Unlock()
 	if !have {
-		if err := c.Reset(); err != nil {
+		if err := c.exchange(true, &ResetQuery{}); err != nil {
 			return 0, err
 		}
 		return c.Serial(), nil
 	}
-	if err := WritePDU(c.conn, c.Version, q); err != nil {
-		return 0, err
-	}
-	if err := c.readUpdate(false); err != nil {
+	if err := c.exchange(false, q); err != nil {
 		var cr cacheResetError
 		if errors.As(err, &cr) {
-			if err := c.Reset(); err != nil {
+			if err := c.exchange(true, &ResetQuery{}); err != nil {
 				return 0, err
 			}
 			return c.Serial(), nil
@@ -153,21 +243,23 @@ func (c *Client) Sync() (uint32, error) {
 	return c.Serial(), nil
 }
 
-// WaitNotify blocks until a Serial Notify arrives and returns its serial.
-// Any other PDU in this state is a protocol violation.
+// WaitNotify blocks until a Serial Notify arrives and returns its serial, or
+// returns the sticky error when the connection dies first. Because the
+// notify channel coalesces, N cache updates wake WaitNotify at least once,
+// not necessarily N times; the returned serial is the newest one pending.
 func (c *Client) WaitNotify() (uint32, error) {
-	pdu, _, err := ReadPDU(c.conn)
-	if err != nil {
-		return 0, err
+	select {
+	case s := <-c.notifyCh:
+		return s, nil
+	case <-c.done:
+		// A notify that arrived just before the loop died is still news.
+		select {
+		case s := <-c.notifyCh:
+			return s, nil
+		default:
+		}
+		return 0, c.Err()
 	}
-	n, ok := pdu.(*SerialNotify)
-	if !ok {
-		return 0, fmt.Errorf("rtr: expected Serial Notify, got type %d", pdu.Type())
-	}
-	c.mu.Lock()
-	c.notifySerial, c.notified = n.Serial, true
-	c.mu.Unlock()
-	return n.Serial, nil
 }
 
 // cacheResetError signals that the cache cannot serve the incremental query.
@@ -175,118 +267,237 @@ type cacheResetError struct{}
 
 func (cacheResetError) Error() string { return "rtr: cache reset" }
 
-// readUpdate consumes a Cache Response sequence and applies it. full
-// indicates a reset (clear state first).
-func (c *Client) readUpdate(full bool) error {
-	// Await Cache Response, tolerating interleaved Serial Notify PDUs (the
-	// cache may notify while our query is in flight).
-	var session uint16
-	for {
-		pdu, _, err := ReadPDU(c.conn)
-		if err != nil {
-			return err
-		}
-		switch p := pdu.(type) {
-		case *CacheResponse:
-			session = p.SessionID
-		case *SerialNotify:
-			c.mu.Lock()
-			c.notifySerial, c.notified = p.Serial, true
-			c.mu.Unlock()
-			continue
-		case *CacheReset:
-			return cacheResetError{}
-		case *ErrorReport:
-			return p
-		default:
-			return fmt.Errorf("rtr: expected Cache Response, got type %d", pdu.Type())
-		}
-		break
+// exchange runs one query/response exchange against the dispatch loop:
+// register the request, write the query, wait for the loop to resolve it.
+// The caller must hold reqMu.
+func (c *Client) exchange(full bool, q PDU) error {
+	req := &request{full: full, result: make(chan error, 1)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
 	}
-	staged := make(map[rpki.VRP]struct{})
-	var withdrawals []rpki.VRP
+	c.req = req
+	c.mu.Unlock()
+	// Register before writing: the response must never beat the registration
+	// and be mistaken for idle traffic.
+	if err := WritePDU(c.conn, c.Version, q); err != nil {
+		// The write side is broken; kill the session so the read side does
+		// not block forever waiting for a response that was never requested.
+		c.fail(err)
+	}
+	return <-req.result
+}
+
+// dispatch is the single reader: it owns ReadPDU for the connection's
+// lifetime, routing Serial Notifies to the notify channel and everything
+// else to the in-flight exchange. It exits — closing Done — on the first
+// read error or protocol violation.
+func (c *Client) dispatch() {
+	defer close(c.done)
 	for {
 		pdu, version, err := ReadPDU(c.conn)
 		if err != nil {
-			return err
+			c.fail(err)
+			return
 		}
+		if n, ok := pdu.(*SerialNotify); ok {
+			c.pushNotify(n.Serial)
+			continue
+		}
+		c.mu.Lock()
+		req := c.req
+		c.mu.Unlock()
+		if req == nil {
+			// Traffic while idle. An Error Report here is the cache killing
+			// the session (RFC 8210 §8): surface it as the sticky error and
+			// close. Anything else is a protocol violation with the same
+			// consequence — there is no way to rejoin the cache's state
+			// machine from an unsolicited PDU.
+			c.fail(c.idleError(pdu))
+			return
+		}
+		finished, exchErr, fatal := c.advance(req, pdu, version)
+		if fatal != nil {
+			c.fail(fatal)
+			return
+		}
+		if finished {
+			c.mu.Lock()
+			c.req = nil
+			c.mu.Unlock()
+			req.finish(exchErr)
+		}
+	}
+}
+
+// idleError classifies a non-notify PDU received outside any exchange.
+func (c *Client) idleError(pdu PDU) error {
+	if er, ok := pdu.(*ErrorReport); ok {
+		return er
+	}
+	return fmt.Errorf("rtr: unexpected PDU type %d while idle", pdu.Type())
+}
+
+// advance feeds one PDU into the in-flight exchange's state machine. It
+// reports whether the exchange finished and with what outcome; fatal errors
+// kill the whole session (the response can no longer be correlated with the
+// local state), while an exchange error (Cache Reset, Error Report) resolves
+// the request but leaves the — still perfectly framed — session usable.
+func (c *Client) advance(req *request, pdu PDU, version byte) (finished bool, exchErr, fatal error) {
+	if !req.started {
+		// Awaiting Cache Response.
 		switch p := pdu.(type) {
-		case *Prefix:
-			if p.Flags&FlagAnnounce != 0 {
-				staged[p.VRP] = struct{}{}
-			} else {
-				withdrawals = append(withdrawals, p.VRP)
-			}
-		case *SerialNotify:
-			c.mu.Lock()
-			c.notifySerial, c.notified = p.Serial, true
-			c.mu.Unlock()
-		case *RouterKey:
-			// Accepted and ignored: BGPsec is out of scope here.
-		case *EndOfData:
-			if p.SessionID != session {
-				return fmt.Errorf("rtr: End of Data session %d != Cache Response session %d", p.SessionID, session)
-			}
-			c.mu.Lock()
-			hook := c.OnDelta
-			var ann, wd []rpki.VRP
-			if full {
-				// Replace the table; the delta reported to OnDelta is the
-				// difference against the table being replaced.
-				next := make(map[rpki.VRP]struct{}, len(staged))
-				for v := range staged {
-					next[v] = struct{}{}
-				}
-				for _, v := range withdrawals {
-					delete(next, v)
-				}
-				if hook != nil {
-					for v := range c.vrps {
-						if _, ok := next[v]; !ok {
-							wd = append(wd, v)
-						}
-					}
-					for v := range next {
-						if _, ok := c.vrps[v]; !ok {
-							ann = append(ann, v)
-						}
-					}
-				}
-				c.vrps = next
-			} else {
-				for v := range staged {
-					if _, ok := c.vrps[v]; !ok {
-						c.vrps[v] = struct{}{}
-						if hook != nil {
-							ann = append(ann, v)
-						}
-					}
-				}
-				for _, v := range withdrawals {
-					if _, ok := c.vrps[v]; ok {
-						delete(c.vrps, v)
-						if hook != nil {
-							wd = append(wd, v)
-						}
-					}
-				}
-			}
-			c.sessionID = session
-			c.serial = p.Serial
-			c.haveState = true
-			if version == Version1 {
-				c.refresh, c.retry, c.expire = p.Refresh, p.Retry, p.Expire
-				c.haveTimers = true
-			}
-			c.mu.Unlock()
-			if hook != nil && (len(ann) > 0 || len(wd) > 0) {
-				hook(ann, wd)
-			}
-			return nil
+		case *CacheResponse:
+			req.started = true
+			req.session = p.SessionID
+			req.staged = make(map[rpki.VRP]struct{})
+			return false, nil, nil
+		case *CacheReset:
+			return true, cacheResetError{}, nil
 		case *ErrorReport:
-			return p
+			return true, p, nil
 		default:
-			return fmt.Errorf("rtr: unexpected PDU type %d in update", pdu.Type())
+			return false, nil, fmt.Errorf("rtr: expected Cache Response, got type %d", pdu.Type())
 		}
+	}
+	switch p := pdu.(type) {
+	case *Prefix:
+		if p.Flags&FlagAnnounce != 0 {
+			req.staged[p.VRP] = struct{}{}
+		} else {
+			req.withdrawals = append(req.withdrawals, p.VRP)
+		}
+		return false, nil, nil
+	case *RouterKey:
+		// Accepted and ignored: BGPsec is out of scope here.
+		return false, nil, nil
+	case *EndOfData:
+		if p.SessionID != req.session {
+			return false, nil, fmt.Errorf("rtr: End of Data session %d != Cache Response session %d", p.SessionID, req.session)
+		}
+		c.commit(req, p, version)
+		return true, nil, nil
+	case *ErrorReport:
+		return true, p, nil
+	default:
+		return false, nil, fmt.Errorf("rtr: unexpected PDU type %d in update", pdu.Type())
+	}
+}
+
+// commit applies a completed update on the dispatch goroutine: it swaps in
+// the new table state, adopts version-1 timers, drops a now-stale pending
+// notify, and delivers the applied delta to OnDelta and every subscriber —
+// sequentially, which is the delivery-order guarantee Subscribe documents.
+func (c *Client) commit(req *request, eod *EndOfData, version byte) {
+	c.mu.Lock()
+	hooks := make([]func(announced, withdrawn []rpki.VRP), 0, len(c.subs)+1)
+	if c.OnDelta != nil {
+		hooks = append(hooks, c.OnDelta)
+	}
+	hooks = append(hooks, c.subs...)
+	var ann, wd []rpki.VRP
+	if req.full {
+		// Replace the table; the delta reported to consumers is the
+		// difference against the table being replaced. The staged map is
+		// this exchange's scratch state, dead after commit, so it becomes
+		// the new table directly.
+		next := req.staged
+		for _, v := range req.withdrawals {
+			delete(next, v)
+		}
+		if len(hooks) > 0 {
+			for v := range c.vrps {
+				if _, ok := next[v]; !ok {
+					wd = append(wd, v)
+				}
+			}
+			for v := range next {
+				if _, ok := c.vrps[v]; !ok {
+					ann = append(ann, v)
+				}
+			}
+		}
+		c.vrps = next
+	} else {
+		for v := range req.staged {
+			if _, ok := c.vrps[v]; !ok {
+				c.vrps[v] = struct{}{}
+				if len(hooks) > 0 {
+					ann = append(ann, v)
+				}
+			}
+		}
+		for _, v := range req.withdrawals {
+			if _, ok := c.vrps[v]; ok {
+				delete(c.vrps, v)
+				if len(hooks) > 0 {
+					wd = append(wd, v)
+				}
+			}
+		}
+	}
+	c.sessionID = req.session
+	c.serial = eod.Serial
+	c.haveState = true
+	if version == Version1 {
+		c.refresh, c.retry, c.expire = eod.Refresh, eod.Retry, eod.Expire
+		c.haveTimers = true
+	}
+	c.mu.Unlock()
+	c.dropStaleNotify(eod.Serial)
+	if len(ann) > 0 || len(wd) > 0 {
+		for _, hook := range hooks {
+			hook(ann, wd)
+		}
+	}
+}
+
+// pushNotify delivers a Serial Notify to the coalescing channel: if one is
+// already pending, the newer serial displaces it. Only the dispatch
+// goroutine sends on notifyCh, so after draining the pending value the send
+// cannot race another producer.
+func (c *Client) pushNotify(serial uint32) {
+	for {
+		select {
+		case c.notifyCh <- serial:
+			return
+		default:
+		}
+		select {
+		case <-c.notifyCh:
+		default:
+		}
+	}
+}
+
+// dropStaleNotify clears a pending notify at or behind the serial just
+// synchronized: it is no longer news. One that is genuinely newer (RFC 1982
+// comparison — serials wrap) is put back. Runs on the dispatch goroutine.
+func (c *Client) dropStaleNotify(serial uint32) {
+	select {
+	case s := <-c.notifyCh:
+		if SerialNewer(s, serial) {
+			c.pushNotify(s)
+		}
+	default:
+	}
+}
+
+// fail records the sticky error (first one wins), closes the connection, and
+// resolves any in-flight exchange with it. Safe from any goroutine.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	req := c.req
+	c.req = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	if req != nil {
+		req.finish(err)
 	}
 }

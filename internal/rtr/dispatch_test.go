@@ -1,0 +1,209 @@
+package rtr
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rpki"
+)
+
+// TestIdleErrorReportFailsClient pins the dispatch loop's idle-state
+// handling of an Error Report arriving between syncs: RFC 8210 §8 makes it
+// fatal to the session, so the client must surface it as the sticky error,
+// close the connection, and fail every subsequent call fast. The old
+// blocking-reader design would instead have misparsed it as an unexpected
+// PDU inside the next exchange.
+func TestIdleErrorReportFailsClient(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn)
+	defer c.Close()
+
+	// Unsolicited Error Report while no exchange is in flight (net.Pipe
+	// writes rendezvous with the dispatch loop's read, hence the goroutine).
+	go WritePDU(srvConn, Version1, &ErrorReport{Code: ErrInternalError, Text: "cache going down"})
+
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch loop did not terminate on idle Error Report")
+	}
+	var er *ErrorReport
+	if !errors.As(c.Err(), &er) || er.Code != ErrInternalError {
+		t.Fatalf("sticky error = %v, want the internal-error Error Report", c.Err())
+	}
+	// Failed client: every call reports the same sticky error without
+	// touching the (closed) connection.
+	if _, err := c.Sync(); !errors.As(err, &er) {
+		t.Fatalf("Sync after failure = %v, want the Error Report", err)
+	}
+	if _, err := c.WaitNotify(); !errors.As(err, &er) {
+		t.Fatalf("WaitNotify after failure = %v, want the Error Report", err)
+	}
+	// The client closed its side as §8 requires: the cache sees EOF.
+	srvConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := ReadPDU(srvConn); err == nil {
+		t.Fatal("client did not close the connection after the idle Error Report")
+	}
+}
+
+// TestConcurrentSyncResetDispatch hammers the dispatch loop with concurrent
+// Sync and Reset callers while the cache keeps updating (run under -race by
+// make race): the at-most-one-in-flight serialization must keep every
+// exchange intact and the table convergent.
+func TestConcurrentSyncResetDispatch(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines, rounds = 4, 8
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					if _, err := c.Sync(); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if err := c.Reset(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Updates (and their Serial Notifies) race the exchanges.
+	cur := set
+	for i := 0; i < rounds; i++ {
+		cur = rpki.NewSet(append(cur.VRPs(),
+			rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(8 + i), AS: rpki.ASN(300 + i)}))
+		srv.UpdateSet(cur)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent exchange failed: %v", err)
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Set().Equal(cur) {
+		t.Fatalf("after concurrent exchanges: %d VRPs, want %d", c.Len(), cur.Len())
+	}
+}
+
+// TestSubscribeMultipleConsumers pins the Subscribe contract: every
+// registered consumer — and the deprecated OnDelta hook, first — sees every
+// applied delta exactly once, sequentially, in registration order, with
+// delivery completing before the Sync that produced it returns. A second
+// consumer keeps simple counters, the cmd/rtrclient pattern.
+func TestSubscribeMultipleConsumers(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Delivery is serialized on the dispatch goroutine and happens-before
+	// Sync returns, so none of this state needs locking.
+	var order []string
+	mirror := map[rpki.VRP]struct{}{}
+	var announced, withdrawn int
+	c.OnDelta = func(ann, wd []rpki.VRP) {
+		order = append(order, "ondelta")
+	}
+	c.Subscribe(func(ann, wd []rpki.VRP) {
+		order = append(order, "mirror")
+		for _, v := range ann {
+			if _, ok := mirror[v]; ok {
+				t.Errorf("announced already-present VRP %s", v)
+			}
+			mirror[v] = struct{}{}
+		}
+		for _, v := range wd {
+			if _, ok := mirror[v]; !ok {
+				t.Errorf("withdrew absent VRP %s", v)
+			}
+			delete(mirror, v)
+		}
+	})
+	c.Subscribe(func(ann, wd []rpki.VRP) {
+		order = append(order, "counter")
+		announced += len(ann)
+		withdrawn += len(wd)
+	})
+	wantOrder := func(want ...string) {
+		t.Helper()
+		if len(order) != len(want) {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("delivery order %v, want %v", order, want)
+			}
+		}
+	}
+	checkMirror := func() {
+		t.Helper()
+		vrps := make([]rpki.VRP, 0, len(mirror))
+		for v := range mirror {
+			vrps = append(vrps, v)
+		}
+		if got := rpki.NewSet(vrps); !got.Equal(c.Set()) {
+			t.Fatalf("subscriber mirror %v != table %v", got.VRPs(), c.Set().VRPs())
+		}
+	}
+
+	if _, err := c.Sync(); err != nil { // initial full sync
+		t.Fatal(err)
+	}
+	wantOrder("ondelta", "mirror", "counter")
+	checkMirror()
+	if announced != set.Len() || withdrawn != 0 {
+		t.Fatalf("counters after full sync: +%d -%d, want +%d -0", announced, withdrawn, set.Len())
+	}
+
+	// Incremental update: one VRP dropped, one added; all consumers fire
+	// again, same order.
+	next := rpki.NewSet(append(set.VRPs()[1:],
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
+	srv.UpdateSet(next)
+	if _, err := c.WaitNotify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder("ondelta", "mirror", "counter", "ondelta", "mirror", "counter")
+	checkMirror()
+	if announced != set.Len()+1 || withdrawn != 1 {
+		t.Fatalf("counters after incremental sync: +%d -%d, want +%d -1", announced, withdrawn, set.Len()+1)
+	}
+
+	// A no-op sync delivers nothing.
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder("ondelta", "mirror", "counter", "ondelta", "mirror", "counter")
+	checkMirror()
+}

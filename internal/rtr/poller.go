@@ -132,6 +132,11 @@ func (p *Poller) adoptTimers() {
 // failing — or when the initial sync fails — Run returns the error, since
 // the Client cannot re-dial and the caller must reconnect. Run performs the
 // initial sync itself and returns nil when stopped.
+//
+// The Client's dispatch goroutine owns the connection, so idling is a plain
+// select over the notify channel, the refresh timer, connection death, and
+// Stop: Run never touches the socket or its deadlines, and nothing it does
+// can interrupt a read mid-PDU.
 func (p *Poller) Run() error {
 	defer close(p.doneCh)
 	for {
@@ -154,37 +159,20 @@ func (p *Poller) Run() error {
 			continue
 		}
 		p.adoptTimers()
-		// Idle: await a Serial Notify in a helper goroutine (so Stop and the
-		// refresh timer can interrupt) or the Refresh interval, whichever
-		// fires first. Either way the next step is a sync.
-		notifyCh := make(chan error, 1)
-		go func() {
-			_, err := p.Client.WaitNotify()
-			notifyCh <- err
-		}()
 		select {
 		case <-p.stopCh:
-			// Stop closed the connection; the reader is unblocking.
-			<-notifyCh
 			return nil
-		case err := <-notifyCh:
-			if p.isStopped() {
-				return nil
-			}
-			// A notify triggers an immediate sync. A read error means the
-			// connection is in trouble: the sync attempt below surfaces it
-			// and enters the retry path.
-			_ = err
+		case <-p.Client.Notify():
+			// Notify → immediate sync.
+		case <-p.Client.Done():
+			// The connection died while idle (read error, or the cache
+			// killed the session with an idle Error Report). This is a
+			// connection failure, not a refresh: fall through to the sync
+			// attempt, which fails fast with the client's sticky error and
+			// enters the retry path above — retrying on the Retry interval
+			// inside the Expire window, then surfacing the error.
 		case <-p.timerAfter(p.refreshInterval()):
-			// Refresh expired with no notify: kick the blocked reader off
-			// the connection with an already-passed read deadline so the
-			// sync below owns the connection again.
-			p.Client.SetReadDeadline(time.Unix(1, 0))
-			<-notifyCh
-			p.Client.SetReadDeadline(time.Time{})
-			if p.isStopped() {
-				return nil
-			}
+			// Refresh expired with no notify: plain periodic sync.
 		}
 	}
 }

@@ -1,11 +1,15 @@
 package rtr
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/rpki"
 )
 
 // fakeClock is a controllable clock for poller tests: every timerAfter call
@@ -171,5 +175,254 @@ func TestPollerRefreshAndRetryFakeClock(t *testing.T) {
 	}
 	if p.Refresh != 1800*time.Second || p.Retry != 300*time.Second || p.Expire != 3600*time.Second {
 		t.Fatalf("timers not adopted: refresh=%v retry=%v expire=%v", p.Refresh, p.Retry, p.Expire)
+	}
+}
+
+// TestSplitNotifyAcrossRefreshBoundary is the regression test for the
+// mid-PDU read-deadline desync race the dispatch loop exists to remove. A
+// Serial Notify is delivered split in two: its 8-byte header before the
+// Refresh timer fires, its 4-byte body after. The old design reacted to the
+// Refresh timer by slamming an already-passed read deadline onto the shared
+// connection to evict the blocked WaitNotify goroutine — which here would
+// kill ReadPDU between header and body, leaving 4 stray bytes on the stream
+// to be misparsed as the next PDU's header; RFC 8210 has no resync point, so
+// every subsequent exchange would read garbage and this test would fail at
+// the serial-query assertions below. The dispatch loop never interrupts a
+// read: the half-received PDU simply completes when its body arrives, and
+// both the refresh-triggered sync and the one after it find a perfectly
+// framed stream.
+func TestSplitNotifyAcrossRefreshBoundary(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	c := NewClient(cliConn)
+	fc := newFakeClock()
+	p := NewPoller(c)
+	p.nowFn = fc.Now
+	p.afterFn = fc.After
+	updates := make(chan uint32, 8)
+	p.OnUpdate = func(s uint32) { updates <- s }
+
+	const session = 0x7a11
+	runErr := make(chan error, 1)
+	go func() { runErr <- p.Run() }()
+
+	expectQuery := func(wantSerial uint32) {
+		t.Helper()
+		pdu, _, err := ReadPDU(srvConn)
+		if err != nil {
+			t.Fatalf("reading query: %v", err)
+		}
+		q, ok := pdu.(*SerialQuery)
+		if !ok || q.Serial != wantSerial {
+			t.Fatalf("got %T %+v, want Serial Query for %d", pdu, pdu, wantSerial)
+		}
+	}
+	answer := func(serial uint32) {
+		t.Helper()
+		if err := WritePDU(srvConn, Version1, &CacheResponse{SessionID: session}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePDU(srvConn, Version1, &EndOfData{
+			SessionID: session, Serial: serial, Refresh: 1800, Retry: 300, Expire: 7200,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Initial sync: the stateless client sends a Reset Query.
+	pdu, _, err := ReadPDU(srvConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pdu.(*ResetQuery); !ok {
+		t.Fatalf("expected Reset Query, got %T", pdu)
+	}
+	answer(7)
+	if s := <-updates; s != 7 {
+		t.Fatalf("initial sync serial = %d, want 7", s)
+	}
+	refresh := fc.nextTimer(t)
+	if refresh.d != 1800*time.Second {
+		t.Fatalf("refresh timer = %v, want 30m0s", refresh.d)
+	}
+
+	// Deliver only the HEADER of a Serial Notify for serial 8: the dispatch
+	// loop is now blocked mid-PDU, exactly where the old design's deadline
+	// would cut.
+	var notify bytes.Buffer
+	if err := WritePDU(&notify, Version1, &SerialNotify{SessionID: session, Serial: 8}); err != nil {
+		t.Fatal(err)
+	}
+	raw := notify.Bytes()
+	if _, err := srvConn.Write(raw[:headerLen]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Refresh timer fires across the half-received PDU.
+	fc.fire(refresh)
+
+	// The refresh-triggered Serial Query goes out on the intact write side.
+	expectQuery(7)
+
+	// Now the notify's body arrives; the PDU completes in frame, then the
+	// cache answers the query. The dispatch loop routes the notify to the
+	// notify channel and the response to the waiting sync — nothing parses
+	// garbage.
+	if _, err := srvConn.Write(raw[headerLen:]); err != nil {
+		t.Fatal(err)
+	}
+	answer(8)
+	if s := <-updates; s != 8 {
+		t.Fatalf("refresh sync serial = %d, want 8", s)
+	}
+
+	// The notify (serial 8) was satisfied by that very sync: the client
+	// drops it as stale, so the poller goes back to a plain Refresh wait
+	// instead of a spurious immediate sync.
+	refresh = fc.nextTimer(t)
+	if refresh.d != 1800*time.Second {
+		t.Fatalf("re-armed refresh timer = %v, want 30m0s", refresh.d)
+	}
+
+	// One more round proves the stream is still framed after the boundary.
+	fc.fire(refresh)
+	expectQuery(8)
+	answer(8)
+	if s := <-updates; s != 8 {
+		t.Fatalf("follow-up sync serial = %d, want 8", s)
+	}
+
+	p.Stop()
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v after Stop", err)
+	}
+}
+
+// TestPollerNotifyVsRefreshRace drives the exact race window the old design
+// lost: a cache update (whose Serial Notify is racing toward the client)
+// concurrent with the Refresh timer firing. Whatever interleaving the race
+// takes, the dispatch loop keeps the stream framed and the poller converges
+// without ever entering an error path. Run under -race by make race.
+func TestPollerNotifyVsRefreshRace(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFakeClock()
+	p := NewPoller(c)
+	p.nowFn = fc.Now
+	p.afterFn = fc.After
+	var updates atomic.Int32
+	p.OnUpdate = func(uint32) { updates.Add(1) }
+	runErr := make(chan error, 1)
+	go func() { runErr <- p.Run() }()
+
+	waitFor(t, func() bool { return updates.Load() >= 1 })
+	refresh := fc.nextTimer(t)
+
+	next := rpki.NewSet(append(set.VRPs(),
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); srv.UpdateSet(next) }()
+	go func() { defer wg.Done(); fc.fire(refresh) }()
+	wg.Wait()
+
+	// The refresh-triggered sync, the notify-triggered one, or both run;
+	// either way the client converges and stays healthy.
+	waitFor(t, func() bool { return c.Set().Equal(next) })
+	if !p.Healthy() {
+		t.Fatal("poller unhealthy after notify-vs-refresh race")
+	}
+	p.Stop()
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v after Stop", err)
+	}
+}
+
+// TestPollerConnFailureWhileIdle pins the Done-channel branch: when the
+// connection dies while the poller idles between syncs, the poller must
+// treat it as a connection failure — entering the Retry path immediately —
+// not as a refresh-timer sync (the old code discarded the WaitNotify error
+// and could not tell the two apart). Retries fail fast on the client's
+// sticky error; once the Expire window passes, Run surfaces the error so the
+// caller reconnects.
+func TestPollerConnFailureWhileIdle(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	c := NewClient(cliConn)
+	fc := newFakeClock()
+	p := NewPoller(c)
+	p.nowFn = fc.Now
+	p.afterFn = fc.After
+	updates := make(chan uint32, 8)
+	p.OnUpdate = func(s uint32) { updates <- s }
+
+	const session = 0x1dfe
+	runErr := make(chan error, 1)
+	go func() { runErr <- p.Run() }()
+
+	// Initial sync at serial 7 with adopted timers 1800/300/3600.
+	pdu, _, err := ReadPDU(srvConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pdu.(*ResetQuery); !ok {
+		t.Fatalf("expected Reset Query, got %T", pdu)
+	}
+	if err := WritePDU(srvConn, Version1, &CacheResponse{SessionID: session}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePDU(srvConn, Version1, &EndOfData{
+		SessionID: session, Serial: 7, Refresh: 1800, Retry: 300, Expire: 3600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-updates; s != 7 {
+		t.Fatalf("initial sync serial = %d, want 7", s)
+	}
+	refresh := fc.nextTimer(t)
+	if refresh.d != 1800*time.Second {
+		t.Fatalf("refresh timer = %v, want 30m0s", refresh.d)
+	}
+
+	// Sever the connection while the poller idles. The next timer armed must
+	// be Retry — the failure is not mistaken for a refresh (the 1800s
+	// refresh timer above is never fired).
+	srvConn.Close()
+	timer := fc.nextTimer(t)
+	if timer.d != 300*time.Second {
+		t.Fatalf("timer after idle connection failure = %v, want the 5m0s retry interval", timer.d)
+	}
+
+	// Each retry fails fast with the sticky error; after the 3600s Expire
+	// window (12 retries at 300s) Run returns it.
+	var result error
+	for fires := 1; ; fires++ {
+		if fires > 13 {
+			t.Fatal("poller kept retrying past the Expire window")
+		}
+		fc.fire(timer)
+		select {
+		case result = <-runErr:
+		case timer = <-fc.reqs:
+			if timer.d != 300*time.Second {
+				t.Fatalf("retry timer #%d = %v, want 5m0s", fires, timer.d)
+			}
+			continue
+		case <-time.After(5 * time.Second):
+			t.Fatal("poller armed no timer and did not exit")
+		}
+		break
+	}
+	if result == nil {
+		t.Fatal("Run returned nil after the Expire window passed on a dead connection")
+	}
+	if p.Healthy() {
+		t.Fatal("poller still healthy after expiry")
 	}
 }
