@@ -25,7 +25,7 @@ race:
 
 # BENCH_JSON is where bench archives its parsed results (committed to the
 # repo so the perf trajectory across PRs is tracked in-tree).
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
 # bench runs the in-package core and rov benchmarks plus the paper-evaluation
 # benches; -count=1 defeats test caching so numbers are always fresh. The raw
@@ -45,17 +45,22 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='^(BenchmarkFigure2|BenchmarkCompressToday)$$' -benchtime=3x -benchmem -count=1 .
 
 # bench-diff compares two archived bench runs (the per-PR BENCH_*.json files)
-# and prints per-benchmark ns/op, B/op, and allocs/op deltas; any ns/op
-# regression beyond BENCH_THRESHOLD percent fails the target, so the in-repo
-# trend doubles as a review gate. The default threshold sits above the
-# wall-clock noise floor of the single-CPU dev container (tens of percent
-# between runs even on untouched code; B/op and allocs/op stay exact) —
-# tighten it on quiet hardware: make bench-diff BENCH_THRESHOLD=10.
-BENCH_OLD ?= BENCH_PR3.json
+# and prints per-benchmark ns/op, B/op, and allocs/op deltas; a regression
+# beyond the per-metric threshold fails the target, so the in-repo trend
+# doubles as a review gate. Wall-clock (ns/op) gets a generous default that
+# sits above the noise floor of the single-CPU dev container (tens of
+# percent between runs even on untouched code) — tighten it on quiet
+# hardware: make bench-diff BENCH_THRESHOLD=10. B/op and allocs/op are exact
+# and gated tightly by BENCH_THRESHOLD_MEM, so allocation regressions fail
+# CI even where wall-clock noise would hide them.
+BENCH_OLD ?= BENCH_PR4.json
 BENCH_NEW ?= $(BENCH_JSON)
 BENCH_THRESHOLD ?= 50
+BENCH_THRESHOLD_MEM ?= 10
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) \
+		-threshold-bytes $(BENCH_THRESHOLD_MEM) -threshold-allocs $(BENCH_THRESHOLD_MEM) \
+		$(BENCH_OLD) $(BENCH_NEW)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTrieVsReference -fuzztime=30s ./internal/core/

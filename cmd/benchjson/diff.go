@@ -58,10 +58,17 @@ func loadResults(path string) ([]result, error) {
 	return out, nil
 }
 
+// worstRegressions is the most positive (worst) regression per metric, in
+// percent, across benchmarks present in both runs; 0 when a metric never
+// appears on both sides.
+type worstRegressions struct {
+	Ns, Bytes, Allocs float64
+}
+
 // diffResults joins two runs on package+name and computes per-metric deltas.
-// It returns the rows sorted by key and the worst (most positive) ns/op
-// regression in percent across benchmarks present in both runs.
-func diffResults(old, cur []result) (rows []diffRow, worstNsRegression float64) {
+// It returns the rows sorted by key and the worst regression per metric
+// across benchmarks present in both runs.
+func diffResults(old, cur []result) (rows []diffRow, worst worstRegressions) {
 	key := func(r result) string {
 		if r.Package == "" {
 			return r.Name
@@ -73,7 +80,12 @@ func diffResults(old, cur []result) (rows []diffRow, worstNsRegression float64) 
 		oldBy[key(r)] = r
 	}
 	seen := make(map[string]bool, len(cur))
-	worstNsRegression = math.Inf(-1)
+	worst = worstRegressions{Ns: math.Inf(-1), Bytes: math.Inf(-1), Allocs: math.Inf(-1)}
+	bump := func(w *float64, d *metricDelta) {
+		if d != nil && d.Pct > *w {
+			*w = d.Pct
+		}
+	}
 	for _, c := range cur {
 		k := key(c)
 		seen[k] = true
@@ -88,9 +100,9 @@ func diffResults(old, cur []result) (rows []diffRow, worstNsRegression float64) 
 			Bytes:  delta(o.BytesPerOp, c.BytesPerOp),
 			Allocs: delta(o.AllocsPerOp, c.AllocsPerOp),
 		}
-		if row.Ns != nil && row.Ns.Pct > worstNsRegression {
-			worstNsRegression = row.Ns.Pct
-		}
+		bump(&worst.Ns, row.Ns)
+		bump(&worst.Bytes, row.Bytes)
+		bump(&worst.Allocs, row.Allocs)
 		rows = append(rows, row)
 	}
 	for _, o := range old {
@@ -99,10 +111,35 @@ func diffResults(old, cur []result) (rows []diffRow, worstNsRegression float64) 
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
-	if math.IsInf(worstNsRegression, -1) {
-		worstNsRegression = 0
+	for _, w := range []*float64{&worst.Ns, &worst.Bytes, &worst.Allocs} {
+		if math.IsInf(*w, -1) {
+			*w = 0
+		}
 	}
-	return rows, worstNsRegression
+	return rows, worst
+}
+
+// gateFailures applies the regression thresholds and returns a message per
+// failing metric. base is the -threshold value shared by all metrics; the
+// per-metric overrides replace it when non-negative (0 disables that
+// metric's gate, matching base's semantics).
+func gateFailures(w worstRegressions, base, ns, bytes, allocs float64) []string {
+	pick := func(override float64) float64 {
+		if override < 0 {
+			return base
+		}
+		return override
+	}
+	var out []string
+	check := func(name string, worst, thr float64) {
+		if thr > 0 && worst > thr {
+			out = append(out, fmt.Sprintf("worst %s regression %+.1f%% exceeds threshold %.1f%%", name, worst, thr))
+		}
+	}
+	check("ns/op", w.Ns, pick(ns))
+	check("B/op", w.Bytes, pick(bytes))
+	check("allocs/op", w.Allocs, pick(allocs))
+	return out
 }
 
 // printDiff renders the delta table. Values are printed in the benchmark's

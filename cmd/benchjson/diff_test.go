@@ -51,10 +51,11 @@ func TestDiffResults(t *testing.T) {
 	if !byKey["repro/internal/core.BenchmarkFresh"].OnlyNew {
 		t.Fatal("added benchmark not marked OnlyNew")
 	}
-	// Worst ns/op regression is IndexBuild's +20% (Validate improved; the
-	// new/removed rows have no delta to compare).
-	if worst != 20 {
-		t.Fatalf("worst regression = %v, want 20", worst)
+	// Worst regressions per metric: ns/op is IndexBuild's +20% (Validate
+	// improved; the new/removed rows have no delta to compare), B/op is
+	// IndexBuild's -50% improvement (the only B/op pair), allocs/op is flat.
+	if worst.Ns != 20 || worst.Bytes != -50 || worst.Allocs != 0 {
+		t.Fatalf("worst = %+v, want {Ns:20 Bytes:-50 Allocs:0}", worst)
 	}
 }
 
@@ -65,8 +66,8 @@ func TestDiffResultsZeroOld(t *testing.T) {
 	if rows[0].Ns == nil || !math.IsInf(rows[0].Ns.Pct, 1) {
 		t.Fatalf("zero-baseline delta = %+v, want +inf", rows[0].Ns)
 	}
-	if !math.IsInf(worst, 1) {
-		t.Fatalf("worst = %v, want +inf", worst)
+	if !math.IsInf(worst.Ns, 1) {
+		t.Fatalf("worst = %+v, want Ns +inf", worst)
 	}
 }
 
@@ -74,8 +75,46 @@ func TestDiffResultsNoCommon(t *testing.T) {
 	rows, worst := diffResults(
 		[]result{{Name: "BenchmarkA", NsPerOp: fp(1)}},
 		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}})
-	if len(rows) != 2 || worst != 0 {
-		t.Fatalf("rows=%d worst=%v, want 2 rows and worst 0", len(rows), worst)
+	if len(rows) != 2 || worst != (worstRegressions{}) {
+		t.Fatalf("rows=%d worst=%+v, want 2 rows and zero worsts", len(rows), worst)
+	}
+}
+
+// TestGateFailures pins the multi-metric threshold semantics: the shared
+// -threshold gates all three metrics, per-metric overrides replace it when
+// non-negative, 0 (shared or override) disables, and improvements never
+// trip a gate.
+func TestGateFailures(t *testing.T) {
+	w := worstRegressions{Ns: 40, Bytes: 12, Allocs: -5}
+	cases := []struct {
+		name                   string
+		base, ns, bytes, alloc float64
+		want                   int
+	}{
+		{"disabled", 0, -1, -1, -1, 0},
+		{"shared gates all", 10, -1, -1, -1, 2},           // ns 40>10, bytes 12>10; allocs improved
+		{"shared loose", 50, -1, -1, -1, 0},               // nothing beyond 50
+		{"bytes override tight", 50, -1, 10, -1, 1},       // only bytes 12>10
+		{"ns override disables", 10, 0, -1, -1, 1},        // bytes still gated by shared
+		{"alloc override alone", 0, -1, -1, 1, 0},         // allocs improved: no failure
+		{"alloc regression gated", 0, -1, -1, 1, 1},       // see flip below
+		{"override looser than shared", 10, 45, -1, 0, 1}, /* ns passes at 45, bytes 12>10, allocs off */
+	}
+	for _, c := range cases {
+		ww := w
+		if c.name == "alloc regression gated" {
+			ww.Allocs = 3
+		}
+		got := gateFailures(ww, c.base, c.ns, c.bytes, c.alloc)
+		if len(got) != c.want {
+			t.Errorf("%s: gateFailures(%+v, %v, %v, %v, %v) = %v, want %d failures",
+				c.name, ww, c.base, c.ns, c.bytes, c.alloc, got, c.want)
+		}
+	}
+	// The failure text names the metric and both percentages.
+	msgs := gateFailures(worstRegressions{Ns: 33}, 20, -1, -1, -1)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "ns/op") || !strings.Contains(msgs[0], "+33.0%") || !strings.Contains(msgs[0], "20.0%") {
+		t.Fatalf("failure message = %q", msgs)
 	}
 }
 

@@ -17,8 +17,13 @@
 // With -diff, benchjson instead compares two archived runs (the files make
 // bench writes) and prints a per-benchmark delta table for ns/op, B/op, and
 // allocs/op — the in-repo perf trend across PRs, `make bench-diff`. When
-// -threshold is positive, any benchmark whose ns/op regressed by more than
-// that percentage makes benchjson exit 1, so the diff doubles as a CI gate.
+// -threshold is positive, any benchmark whose ns/op, B/op, or allocs/op
+// regressed by more than that percentage makes benchjson exit 1, so the
+// diff doubles as a CI gate. The per-metric flags -threshold-ns,
+// -threshold-bytes, and -threshold-allocs override the shared threshold for
+// one metric (0 disables that metric's gate): wall-clock numbers need a
+// generous threshold on noisy hardware, while allocation metrics are exact
+// and can be gated tightly.
 package main
 
 import (
@@ -49,7 +54,10 @@ func main() {
 	inPath := flag.String("in", "", "input file (default stdin)")
 	outPath := flag.String("out", "", "output file (default stdout)")
 	diffMode := flag.Bool("diff", false, "compare two archived runs: benchjson -diff old.json new.json")
-	threshold := flag.Float64("threshold", 0, "with -diff: exit 1 when any ns/op regression exceeds this percentage (0 disables the gate)")
+	threshold := flag.Float64("threshold", 0, "with -diff: exit 1 when any ns/op, B/op, or allocs/op regression exceeds this percentage (0 disables the gate)")
+	thresholdNs := flag.Float64("threshold-ns", -1, "with -diff: per-metric override of -threshold for ns/op (-1 inherits, 0 disables)")
+	thresholdBytes := flag.Float64("threshold-bytes", -1, "with -diff: per-metric override of -threshold for B/op (-1 inherits, 0 disables)")
+	thresholdAllocs := flag.Float64("threshold-allocs", -1, "with -diff: per-metric override of -threshold for allocs/op (-1 inherits, 0 disables)")
 	flag.Parse()
 
 	if *diffMode {
@@ -66,8 +74,12 @@ func main() {
 		}
 		rows, worst := diffResults(old, cur)
 		printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), rows)
-		if *threshold > 0 && worst > *threshold {
-			log.Fatalf("worst ns/op regression %+.1f%% exceeds threshold %.1f%%", worst, *threshold)
+		failures := gateFailures(worst, *threshold, *thresholdNs, *thresholdBytes, *thresholdAllocs)
+		for _, f := range failures {
+			log.Print(f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
 		}
 		return
 	}

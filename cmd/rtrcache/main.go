@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	rtrcache -vrps vrps.csv [-listen :8282] [-compress]
+//	rtrcache -vrps vrps.csv [-listen :8282] [-compress] [-session N] [-serial N]
+//
+// -session/-serial control the RFC 8210 session identity the cache serves
+// from. A cache restarted with its previous session and serial lets routers
+// resume their incremental stream with a Serial Query; omitting -session
+// picks a random session ID, which forces reconnecting routers through
+// Cache Reset and a full resync — the two restart modes the reconnect
+// supervisor in rtrclient distinguishes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,10 +34,20 @@ func main() {
 		vrpsPath = flag.String("vrps", "", "VRP CSV file to serve (required)")
 		listen   = flag.String("listen", "127.0.0.1:8282", "listen address")
 		compress = flag.Bool("compress", false, "compress the PDU list before serving (§7)")
+		session  = flag.Int("session", -1, "session ID to serve (0..65535); -1 picks a random one, as a freshly restarted cache should")
+		serial   = flag.Uint("serial", 1, "serial number to start from (with -session, resumes a previous cache identity)")
 	)
 	flag.Parse()
 	if *vrpsPath == "" {
 		fmt.Fprintln(os.Stderr, "rtrcache: -vrps is required")
+		os.Exit(2)
+	}
+	if *session > 0xffff || *session < -1 {
+		fmt.Fprintln(os.Stderr, "rtrcache: -session must be -1 (random) or fit in 16 bits")
+		os.Exit(2)
+	}
+	if *serial > 0xffffffff {
+		fmt.Fprintln(os.Stderr, "rtrcache: -serial must fit in 32 bits")
 		os.Exit(2)
 	}
 	set, err := loadSet(*vrpsPath, *compress)
@@ -38,6 +56,11 @@ func main() {
 	}
 	srv := rtr.NewServer(set)
 	srv.Logf = log.Printf
+	if *session >= 0 {
+		srv.SetSession(uint16(*session), uint32(*serial))
+	} else {
+		srv.SetSession(uint16(rand.Uint32()), uint32(*serial))
+	}
 	log.Printf("rtrcache: serving %d PDUs on %s (serial %d, session %#x)",
 		set.Len(), *listen, srv.Serial(), srv.SessionID())
 

@@ -1,7 +1,11 @@
 // Command rtrclient plays the router side of Figure 1: it connects to an
 // RPKI-to-Router cache, synchronizes the validated prefix table, prints it
 // as CSV, and (with -follow) keeps applying incremental updates as the cache
-// announces them.
+// announces them — surviving cache restarts through the reconnect
+// supervisor, which redials with backoff and resumes the session with a
+// Serial Query (falling back to a full resync only when the cache forces
+// it). Without -follow the command is one-shot: a single dial and sync,
+// exiting with an error if the cache is unreachable.
 //
 // Usage:
 //
@@ -12,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/rov"
 	"repro/internal/rpki"
@@ -22,59 +28,94 @@ import (
 func main() {
 	var (
 		cache   = flag.String("cache", "127.0.0.1:8282", "cache address")
-		follow  = flag.Bool("follow", false, "stay connected and apply serial updates")
+		follow  = flag.Bool("follow", false, "stay connected and apply serial updates, reconnecting across cache restarts")
 		version = flag.Int("version", 1, "protocol version (0 or 1)")
 	)
 	flag.Parse()
-	c, err := rtr.Dial(*cache)
-	if err != nil {
-		log.Fatalf("rtrclient: %v", err)
-	}
-	defer c.Close()
+	var protoVersion byte
 	switch *version {
 	case 0:
-		c.Version = rtr.Version0
+		protoVersion = rtr.Version0
 	case 1:
-		c.Version = rtr.Version1
+		protoVersion = rtr.Version1
 	default:
 		log.Fatalf("rtrclient: bad -version %d", *version)
 	}
-	// The validation index follows the protocol's deltas in place (O(delta)
-	// per update) instead of being rebuilt from the table after every sync.
-	// The client's dispatch loop delivers each applied delta to every
-	// subscriber sequentially, so the index and the counters below stay
-	// consistent with each other without any locking.
-	live := rov.NewLiveIndex(rpki.NewSet(nil))
-	c.Subscribe(func(announced, withdrawn []rpki.VRP) {
-		live.Apply(announced, withdrawn)
-	})
-	var announced, withdrawn int
-	c.Subscribe(func(ann, wd []rpki.VRP) {
-		announced += len(ann)
-		withdrawn += len(wd)
-	})
-	serial, err := c.Sync()
-	if err != nil {
-		log.Fatalf("rtrclient: sync: %v", err)
-	}
-	log.Printf("rtrclient: synchronized %d VRPs at serial %d (session %#x)",
-		c.Len(), serial, c.SessionID())
-	if err := rpki.WriteCSV(os.Stdout, c.Set()); err != nil {
-		log.Fatalf("rtrclient: %v", err)
-	}
+
 	if !*follow {
-		return
-	}
-	for {
-		notified, err := c.WaitNotify()
+		// One-shot: a single dial and sync, failing fast — scripts piping
+		// the CSV need an exit code, not an endless redial loop.
+		c, err := rtr.Dial(*cache)
 		if err != nil {
-			log.Fatalf("rtrclient: notify: %v", err)
+			log.Fatalf("rtrclient: %v", err)
 		}
+		defer c.Close()
+		c.Version = protoVersion
 		serial, err := c.Sync()
 		if err != nil {
 			log.Fatalf("rtrclient: sync: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "# update: notify serial %d, synced to %d, %d VRPs (+%d -%d applied since start, live index updated in place)\n",
-			notified, serial, live.Len(), announced, withdrawn)
+		log.Printf("rtrclient: synchronized %d VRPs at serial %d (session %#x)",
+			c.Len(), serial, c.SessionID())
+		if err := rpki.WriteCSV(os.Stdout, c.Set()); err != nil {
+			log.Fatalf("rtrclient: %v", err)
+		}
+		return
+	}
+
+	// Follow mode: the reconnect supervisor owns the session lifecycle.
+	// The validation index follows the protocol's deltas in place (O(delta)
+	// per update) instead of being rebuilt from the table after every sync.
+	// The supervisor re-registers the subscribers on every reconnect and
+	// seeds each new client with the carried table, so the delta stream
+	// stays continuous across cache restarts; only when the carried state
+	// expires during an outage is the index reset to the full table.
+	// The counters are atomic: the subscriber runs on the client's dispatch
+	// goroutine while the follow loop reads them from this one.
+	live := rov.NewLiveIndex(rpki.NewSet(nil))
+	var announced, withdrawn atomic.Int64
+
+	sup := rtr.NewSupervisor(func() (net.Conn, error) { return net.Dial("tcp", *cache) })
+	sup.Version = protoVersion
+	sup.Logf = func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+	sup.Subscribe(func(ann, wd []rpki.VRP) {
+		live.Apply(ann, wd)
+		announced.Add(int64(len(ann)))
+		withdrawn.Add(int64(len(wd)))
+	})
+	sup.OnReset(live.ResetTo)
+	updates := make(chan uint32, 64)
+	sup.OnUpdate = func(serial uint32) {
+		// Never block the supervisor: dropping an update only skips a log
+		// line — the table and index are already current.
+		select {
+		case updates <- serial:
+		default:
+		}
+	}
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- sup.Run() }()
+
+	// First successful sync: print the table. The LiveIndex is the source —
+	// the client generation that produced the sync may already be gone (the
+	// supervisor could be mid-redial), but the index carries the table.
+	var serial uint32
+	select {
+	case serial = <-updates:
+	case err := <-runErr:
+		log.Fatalf("rtrclient: %v", err)
+	}
+	table := rpki.NewSet(live.Snapshot().AppendVRPs(nil))
+	log.Printf("rtrclient: synchronized %d VRPs at serial %d", table.Len(), serial)
+	if err := rpki.WriteCSV(os.Stdout, table); err != nil {
+		log.Fatalf("rtrclient: %v", err)
+	}
+	for serial := range updates {
+		st := sup.Stats()
+		fmt.Fprintf(os.Stderr, "# update: synced to %d, %d VRPs (+%d -%d applied since start; %d dials, %d serial resumes, %d reset fallbacks, %d rebuilds)\n",
+			serial, live.Len(), announced.Load(), withdrawn.Load(), st.Dials, st.SerialResumes, st.ResetFallbacks, st.Rebuilds)
 	}
 }

@@ -4,7 +4,12 @@
 //	RTR cache --RPKI-to-Router over TCP--> router client --> origin validation
 //
 // It then updates the repository (simulating an operator hardening a
-// non-minimal ROA) and shows the incremental update reaching the router.
+// non-minimal ROA) and shows the incremental update reaching the router;
+// finally it kills the cache outright and restarts it with a fresh session
+// ID, showing the reconnect supervisor redialing, falling back through
+// Cache Reset, and converging the router's live index on the post-restart
+// table — the deployment story of a router that stays continuously
+// validated across cache restarts.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/prefix"
@@ -44,34 +50,41 @@ func main() {
 	}
 	fmt.Printf("compress: %d -> %d PDUs (%.1f%% saved)\n", res.In, res.Out, 100*res.SavedFraction())
 
-	// 4. Serve over RPKI-to-Router and sync a router client.
+	// 4. Serve over RPKI-to-Router and sync a router through the reconnect
+	//    supervisor. The router's validation table is a live index fed by
+	//    the protocol's deltas: every sync — the initial full one included —
+	//    flows through a persistent subscriber and applies in O(delta),
+	//    never rebuilding the index. The supervisor re-registers the
+	//    subscriber on every reconnect, so the delta stream survives the
+	//    cache restart in step 7.
 	srv := rtr.NewServer(pdus)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	addr := l.Addr().String()
 	go srv.Serve(l)
-	defer srv.Close()
 
-	router, err := rtr.Dial(l.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer router.Close()
-	// The router's validation table is a live index fed by the protocol's
-	// deltas: every sync — the initial full one included — flows through a
-	// Subscribe consumer and applies in O(delta), never rebuilding the
-	// index. The client's dispatch loop owns the connection and delivers
-	// deltas to all subscribers in order, on one goroutine.
 	live := rov.NewLiveIndex(rpki.NewSet(nil))
-	router.Subscribe(func(announced, withdrawn []rpki.VRP) {
+	sup := rtr.NewSupervisor(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+	sup.BackoffMin = 5 * time.Millisecond
+	sup.BackoffMax = 100 * time.Millisecond
+	sup.Subscribe(func(announced, withdrawn []rpki.VRP) {
 		live.Apply(announced, withdrawn)
 	})
-	serial, err := router.Sync()
-	if err != nil {
-		log.Fatal(err)
+	sup.OnReset(live.ResetTo)
+	updates := make(chan uint32, 16)
+	sup.OnUpdate = func(serial uint32) {
+		select {
+		case updates <- serial:
+		default:
+		}
 	}
-	fmt.Printf("router: synchronized %d VRPs at serial %d\n", router.Len(), serial)
+	go sup.Run()
+	defer sup.Stop()
+
+	serial := <-updates
+	fmt.Printf("router: synchronized %d VRPs at serial %d\n", live.Len(), serial)
 
 	// 5. The router validates announcements with its synchronized table.
 	hijack := prefix.MustParse("168.122.0.0/24")
@@ -86,17 +99,53 @@ func main() {
 		{Prefix: prefix.MustParse("87.254.32.0/19"), MaxLength: 19, AS: 31283},
 	})
 	srv.UpdateSet(minimal)
-	if _, err := router.WaitNotify(); err != nil {
-		log.Fatal(err)
-	}
-	serial, err = router.Sync()
-	if err != nil {
-		log.Fatal(err)
-	}
+	serial = <-updates
 	fmt.Printf("router: incremental update to serial %d (%d VRPs, index updated in place)\n",
 		serial, live.Len())
 	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (hardened: now Invalid)\n",
 		hijack, live.Validate(hijack, 111))
+
+	// 7. The cache process dies and is restarted fresh — new session ID, no
+	//    retained deltas, and a table the restarted cache revalidated in the
+	//    meantime (the AS 31283 ROA expired). The supervisor redials with
+	//    backoff; its Serial Query for the old session is answered with
+	//    Cache Reset, the client falls back to a Reset Query, and the live
+	//    index converges on the post-restart table by the diff against the
+	//    carried one — no rebuild.
+	srv.Close()
+	restarted := rpki.NewSet([]rpki.VRP{
+		{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
+		{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
+	})
+	srv2 := rtr.NewServer(restarted)
+	srv2.SetSession(0xf4e5, 1)
+	l2, err := relisten(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+
+	serial = <-updates
+	st := sup.Stats()
+	fmt.Printf("router: cache restarted with a new session; recovered at serial %d (%d VRPs; %d dials, %d reset fallbacks, %d rebuilds)\n",
+		serial, live.Len(), st.Dials, st.ResetFallbacks, st.Rebuilds)
+	expired := prefix.MustParse("87.254.32.0/19")
+	fmt.Printf("router: %v AS31283 -> %v (ROA gone after restart), hijack still %v, healthy=%v\n",
+		expired, live.Validate(expired, 31283), live.Validate(hijack, 111), sup.Healthy())
+}
+
+// relisten rebinds the address the killed cache listened on.
+func relisten(addr string) (net.Listener, error) {
+	var err error
+	for i := 0; i < 100; i++ {
+		var l net.Listener
+		if l, err = net.Listen("tcp", addr); err == nil {
+			return l, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, err
 }
 
 func buildRepository() (string, error) {

@@ -227,9 +227,11 @@ func (ix *Index) ValidateBatchParallel(routes []Route, dst []State, workers int)
 	return dst
 }
 
-// appendVRPs reconstructs the indexed VRP set in per-family canonical
-// prefix order. LiveIndex compaction rebuilds from it.
-func (ix *Index) appendVRPs(dst []rpki.VRP) []rpki.VRP {
+// AppendVRPs appends the indexed VRP set to dst in per-family canonical
+// prefix order and returns the extended slice. LiveIndex compaction
+// rebuilds from it; callers can use it to export or diff a snapshot's
+// table without retaining the index.
+func (ix *Index) AppendVRPs(dst []rpki.VRP) []rpki.VRP {
 	for slot := range ix.fams {
 		f := &ix.fams[slot]
 		if len(f.eng.Nodes) == 0 {

@@ -21,18 +21,44 @@ import (
 // backing arrays with its predecessor. Readers that loaded the old snapshot
 // keep walking the old root over the old nodes; the atomic pointer swap
 // publishes the new root with a happens-before edge over the appends.
-// Superseded nodes and relocated spans become garbage in the shared slabs;
-// when garbage outweighs live data, Apply compacts by rebuilding into fresh
-// slabs (amortized O(prefix bits) per applied delta entry), leaving old
-// snapshots intact.
+// Superseded nodes and relocated spans become garbage in the shared slabs.
+//
+// When garbage outweighs live data, a background goroutine compacts:
+// it rebuilds the live set into fresh slabs from an immutable snapshot —
+// off the Apply path, so no delta ever pays the O(live set) rebuild in its
+// latency — then replays the deltas that arrived during the rebuild and
+// publishes through the same snapshot swap. Old snapshots stay intact.
 type LiveIndex struct {
-	mu   sync.Mutex // serializes writers (Apply, compaction)
+	mu   sync.Mutex // serializes writers (Apply, ResetTo, compaction publish)
 	snap atomic.Pointer[Index]
 
 	// Writer-side garbage accounting, guarded by mu: slab cells no longer
 	// reachable from the *current* snapshot's roots.
 	garbageNodes   int
 	garbageEntries int
+
+	// compacting marks an in-flight background compaction; while it is set,
+	// Apply records each delta operation in the pending log so the
+	// compactor can replay the updates its rebuild snapshot predates. The
+	// log is one flat buffer with capacity reused across compactions, so
+	// steady-state logging allocates nothing. Guarded by mu.
+	compacting bool
+	pending    []pendingOp
+	// gen is bumped by ResetTo; a compaction that started against an older
+	// generation discards its rebuild instead of resurrecting replaced data.
+	gen uint64
+
+	// compactHook, when set (tests), runs on the compactor goroutine before
+	// the rebuild — a seam to stall compaction and observe Apply continuing.
+	compactHook func()
+}
+
+// pendingOp is one delta operation recorded for replay onto a compacted
+// rebuild, in application order (an Apply's announces precede its
+// withdraws, so announce+withdraw of one VRP nets to the withdraw).
+type pendingOp struct {
+	v        rpki.VRP
+	announce bool
 }
 
 // NewLiveIndex builds a live table over the set's VRPs. Seeding with an
@@ -67,7 +93,9 @@ func (l *LiveIndex) ValidateBatch(routes []Route, dst []State) []State {
 // VRP; withdraw wins, matching the rtr.Client table semantics). Announcing
 // a VRP already in the table and withdrawing one that is absent are no-ops.
 // The cost is O((len(announce)+len(withdraw)) · prefix bits) amortized; the
-// set size never enters.
+// set size never enters — compaction runs on a background goroutine, so
+// even the delta that crosses the garbage threshold pays only its own
+// path-copy work.
 func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -79,11 +107,92 @@ func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
 	for _, v := range withdraw {
 		l.withdraw(nw, v)
 	}
-	if l.needCompact(nw) {
-		nw = newIndexFromVRPs(nw.appendVRPs(make([]rpki.VRP, 0, nw.size)))
-		l.garbageNodes, l.garbageEntries = 0, 0
-	}
 	l.snap.Store(nw)
+	switch {
+	case l.compacting:
+		// A compaction is rebuilding from a snapshot that predates this
+		// delta: record it (copied — the caller owns the slices) so the
+		// compactor can replay it onto the rebuild before publishing.
+		for _, v := range announce {
+			l.pending = append(l.pending, pendingOp{v: v, announce: true})
+		}
+		for _, v := range withdraw {
+			l.pending = append(l.pending, pendingOp{v: v})
+		}
+	case l.needCompact(nw):
+		l.compacting = true
+		go l.compact(nw, l.gen, l.compactHook)
+	}
+}
+
+// ResetTo atomically replaces the table with vrps (which must be free of
+// duplicates — an RTR full-sync table is), rebuilding into fresh slabs.
+// This is the reset-and-replace path for an RTR session the client could
+// not diff against (state expired or lost across a cache restart): deltas
+// no longer describe the new table, so the derived index is rebuilt once
+// instead. Readers holding older snapshots are unaffected; an in-flight
+// background compaction of the replaced table discards its rebuild.
+func (l *LiveIndex) ResetTo(vrps []rpki.VRP) {
+	nw := newIndexFromVRPs(vrps)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gen++
+	l.resetPending()
+	l.garbageNodes, l.garbageEntries = 0, 0
+	l.snap.Store(nw)
+}
+
+// resetPending empties the replay log, keeping moderate capacity for reuse
+// (the point of the flat buffer: steady-state logging allocates nothing)
+// but releasing outsized buffers left by a churn burst. Callers hold mu.
+func (l *LiveIndex) resetPending() {
+	const keep = 1 << 16
+	if cap(l.pending) > keep {
+		l.pending = nil
+	} else {
+		l.pending = l.pending[:0]
+	}
+}
+
+// compact rebuilds the live set of src into fresh slabs, replays the deltas
+// applied while the rebuild ran, and publishes the result. It runs on its
+// own goroutine and takes l.mu only for the final replay-and-swap, so Apply
+// latency stays bounded by the delta size throughout. src is an immutable
+// published snapshot: later Applies only append past its slab bounds.
+func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
+	if hook != nil {
+		hook()
+	}
+	rebuilt := newIndexFromVRPs(src.AppendVRPs(make([]rpki.VRP, 0, src.size)))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compacting = false
+	if l.gen != gen {
+		// ResetTo replaced the table while we rebuilt the old one.
+		l.resetPending()
+		return
+	}
+	l.garbageNodes, l.garbageEntries = 0, 0
+	// Replay the net effect, not the op stream: for one VRP the last
+	// recorded op decides presence (announce and withdraw are both
+	// idempotent state-setters), and ops on distinct VRPs commute, so a
+	// churn burst that announced and withdrew the same VRP many times
+	// collapses to a single op instead of double-applying the whole window.
+	if len(l.pending) > 0 {
+		last := make(map[rpki.VRP]bool, len(l.pending))
+		for _, op := range l.pending {
+			last[op.v] = op.announce
+		}
+		for v, ann := range last {
+			if ann {
+				l.announce(rebuilt, v)
+			} else {
+				l.withdraw(rebuilt, v)
+			}
+		}
+	}
+	l.resetPending()
+	l.snap.Store(rebuilt)
 }
 
 // announce adds one VRP to the in-construction snapshot.

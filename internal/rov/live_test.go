@@ -4,10 +4,36 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
 )
+
+// settle waits out any in-flight background compaction and keeps forcing
+// empty Applies until the garbage thresholds are satisfied, so tests can
+// assert slab bounds deterministically against the asynchronous compactor.
+func settle(t *testing.T, l *LiveIndex) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		l.mu.Lock()
+		busy := l.compacting
+		need := !busy && l.needCompact(l.snap.Load())
+		l.mu.Unlock()
+		if busy {
+			if time.Now().After(deadline) {
+				t.Fatal("compaction did not finish")
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if !need {
+			return
+		}
+		l.Apply(nil, nil)
+	}
+}
 
 // randomVRP draws a VRP from a deliberately small space (few origins, short
 // prefixes in both families) so deltas collide with existing state often.
@@ -211,6 +237,7 @@ func TestLiveIndexCompaction(t *testing.T) {
 		l.Apply([]rpki.VRP{v}, nil)
 		l.Apply(nil, []rpki.VRP{v})
 	}
+	settle(t, l)
 	snap := l.Snapshot()
 	total := len(snap.fams[0].eng.Nodes) + len(snap.fams[1].eng.Nodes)
 	// 10000 applied deltas × ~30-bit paths would be ~300k nodes without
@@ -260,7 +287,7 @@ func TestLiveIndexConcurrentReaders(t *testing.T) {
 				default:
 				}
 				snap := l.Snapshot()
-				ref := NewReference(rpki.NewSet(snap.appendVRPs(nil)))
+				ref := NewReference(rpki.NewSet(snap.AppendVRPs(nil)))
 				for q := 0; q < 50; q++ {
 					p := randomProbe(rng)
 					if got, want := snap.Validate(p.Prefix, p.Origin), ref.Validate(p.Prefix, p.Origin); got != want {
@@ -323,5 +350,233 @@ func TestValidateBatchMatchesValidate(t *testing.T) {
 		if small[i] != want[i] {
 			t.Fatalf("small parallel[%d] = %v, want %v", i, small[i], want[i])
 		}
+	}
+}
+
+// markerVRP returns a distinct, deterministic IPv4 /24 VRP for test deltas
+// that must not collide with the randomVRP space.
+func markerVRP(k int) rpki.VRP {
+	addr := uint64(198<<24|18<<16|(k&0xff)<<8) << 32
+	p, err := prefix.Make(prefix.IPv4, addr, 0, 24)
+	if err != nil {
+		panic(err)
+	}
+	return rpki.VRP{Prefix: p, MaxLength: 24, AS: rpki.ASN(7000 + k)}
+}
+
+// TestLiveIndexBackgroundCompactionApplyLatency pins the property background
+// compaction exists for: while a compaction is stalled mid-rebuild, Apply
+// keeps landing deltas — each immediately visible in a fresh snapshot —
+// instead of paying the O(live set) rebuild in its own latency, and the
+// rebuild's eventual publish replays every one of them. Concurrent readers
+// pin snapshot consistency during the compaction under -race.
+func TestLiveIndexBackgroundCompactionApplyLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var base []rpki.VRP
+	for i := 0; i < 400; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l := NewLiveIndex(rpki.NewSet(base))
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.compactHook = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	l.mu.Unlock()
+
+	// Readers validate arbitrary snapshots against a reference built from
+	// the very same snapshot for the whole test, including the stalled
+	// compaction and its publish.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				ref := NewReference(rpki.NewSet(snap.AppendVRPs(nil)))
+				for q := 0; q < 30; q++ {
+					p := randomProbe(rng)
+					if got, want := snap.Validate(p.Prefix, p.Origin), ref.Validate(p.Prefix, p.Origin); got != want {
+						t.Errorf("snapshot inconsistent during compaction: Validate(%s, %v) = %v, want %v", p.Prefix, p.Origin, got, want)
+						return
+					}
+				}
+			}
+		}(int64(40 + r))
+	}
+
+	// Churn until a compaction launches and stalls inside the hook. A churned
+	// VRP that happens to collide with a base VRP removes it (announce is a
+	// no-op, withdraw wins), so the expected table is tracked exactly.
+	state := map[rpki.VRP]struct{}{}
+	for _, v := range rpki.NewSet(base).VRPs() {
+		state[v] = struct{}{}
+	}
+	stalled := false
+	for i := 0; i < 200000 && !stalled; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+		delete(state, v)
+		select {
+		case <-started:
+			stalled = true
+		default:
+		}
+	}
+	if !stalled {
+		t.Fatal("churn never triggered a compaction")
+	}
+
+	// With the rebuild stalled, every Apply must still complete and publish:
+	// the marker is visible in the snapshot the moment Apply returns, and
+	// the compactor stays parked in the hook (Apply never waits for it).
+	const markers = 40
+	for k := 0; k < markers; k++ {
+		v := markerVRP(k)
+		l.Apply([]rpki.VRP{v}, nil)
+		if got := l.Validate(v.Prefix, v.AS); got != Valid {
+			t.Fatalf("marker %d not visible immediately after Apply during stalled compaction: %v", k, got)
+		}
+	}
+	l.mu.Lock()
+	busy := l.compacting
+	l.mu.Unlock()
+	if !busy {
+		t.Fatal("compaction finished while its hook was held — Apply must not have published the markers through it")
+	}
+
+	// Release the rebuild; its publish must replay the pending markers.
+	close(release)
+	settle(t, l)
+	close(stop)
+	wg.Wait()
+	for k := 0; k < markers; k++ {
+		v := markerVRP(k)
+		if got := l.Validate(v.Prefix, v.AS); got != Valid {
+			t.Fatalf("marker %d lost by compaction publish: %v", k, got)
+		}
+	}
+	// Full differential against the expected table.
+	want := make([]rpki.VRP, 0, len(state)+markers)
+	for v := range state {
+		want = append(want, v)
+	}
+	for k := 0; k < markers; k++ {
+		want = append(want, markerVRP(k))
+	}
+	set := rpki.NewSet(want)
+	if l.Len() != set.Len() {
+		t.Fatalf("live %d VRPs, want %d", l.Len(), set.Len())
+	}
+	ref := NewReference(set)
+	for q := 0; q < 500; q++ {
+		r := randomProbe(rng)
+		if got, wantS := l.Validate(r.Prefix, r.Origin), ref.Validate(r.Prefix, r.Origin); got != wantS {
+			t.Fatalf("after compaction: Validate(%s, %v) = %v, want %v", r.Prefix, r.Origin, got, wantS)
+		}
+	}
+}
+
+// TestLiveIndexResetTo pins the reset-and-replace path: the table is swapped
+// wholesale, older snapshots keep their version, and a reset racing an
+// in-flight compaction wins — the compactor's rebuild of the replaced table
+// is discarded, never resurrecting pre-reset data.
+func TestLiveIndexResetTo(t *testing.T) {
+	v1 := rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 16, AS: 1}
+	v2 := rpki.VRP{Prefix: mp("192.0.2.0/24"), MaxLength: 24, AS: 2}
+	l := NewLiveIndex(rpki.NewSet([]rpki.VRP{v1}))
+	old := l.Snapshot()
+
+	l.ResetTo([]rpki.VRP{v2})
+	if got := l.Validate(mp("10.5.0.0/16"), 1); got != NotFound {
+		t.Fatalf("replaced VRP still validates: %v", got)
+	}
+	if got := l.Validate(v2.Prefix, v2.AS); got != Valid {
+		t.Fatalf("reset table VRP: %v, want Valid", got)
+	}
+	if got := old.Validate(mp("10.5.0.0/16"), 1); got != Valid {
+		t.Fatalf("pre-reset snapshot mutated: %v, want Valid", got)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len after reset = %d, want 1", l.Len())
+	}
+
+	// Reset racing a stalled compaction: the rebuild must be discarded.
+	rng := rand.New(rand.NewSource(31))
+	var base []rpki.VRP
+	for i := 0; i < 400; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l = NewLiveIndex(rpki.NewSet(base))
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.compactHook = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	l.mu.Unlock()
+	stalled := false
+	for i := 0; i < 200000 && !stalled; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+		select {
+		case <-started:
+			stalled = true
+		default:
+		}
+	}
+	if !stalled {
+		t.Fatal("churn never triggered a compaction")
+	}
+	reset := []rpki.VRP{v1, v2}
+	l.ResetTo(reset)
+	close(release)
+	// Wait for the doomed compaction to observe the reset and discard.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		l.mu.Lock()
+		busy := l.compacting
+		l.mu.Unlock()
+		if !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compaction did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len after reset-during-compaction = %d, want 2 (stale rebuild published?)", l.Len())
+	}
+	ref := NewReference(rpki.NewSet(reset))
+	for q := 0; q < 500; q++ {
+		r := randomProbe(rng)
+		if got, want := l.Validate(r.Prefix, r.Origin), ref.Validate(r.Prefix, r.Origin); got != want {
+			t.Fatalf("after reset-during-compaction: Validate(%s, %v) = %v, want %v", r.Prefix, r.Origin, got, want)
+		}
+	}
+	// The index keeps working: deltas apply on the reset table.
+	l.Apply(nil, []rpki.VRP{v2})
+	if got := l.Validate(v2.Prefix, v2.AS); got != NotFound || l.Len() != 1 {
+		t.Fatalf("delta after reset: %v len %d, want NotFound len 1", got, l.Len())
 	}
 }

@@ -53,6 +53,9 @@ type Client struct {
 	// End of Data PDU (seconds); haveTimers reports whether one was seen.
 	refresh, retry, expire uint32
 	haveTimers             bool
+	// fullSyncs counts committed full (Reset Query) exchanges; a resumed
+	// client that syncs with it still zero resumed purely by Serial Query.
+	fullSyncs int
 	// subs are the Subscribe consumers, invoked in registration order.
 	subs []func(announced, withdrawn []rpki.VRP)
 	// req is the at-most-one in-flight exchange; nil while idle.
@@ -75,7 +78,13 @@ type request struct {
 	result chan error // buffered: finish never blocks the dispatch loop
 
 	// Exchange state below is owned by the dispatch goroutine.
-	started     bool // Cache Response received
+	started bool // Cache Response received
+	// discard marks an incremental exchange whose Cache Response carried a
+	// different session than the local state (the cache restarted but did
+	// not answer Cache Reset): the update cannot be applied onto the local
+	// table, so the rest of it is consumed — keeping the stream framed —
+	// and the exchange resolves as a cache reset at End of Data.
+	discard     bool
 	session     uint16
 	staged      map[rpki.VRP]struct{}
 	withdrawals []rpki.VRP
@@ -86,6 +95,26 @@ type request struct {
 // outcome wins.
 func (r *request) finish(err error) {
 	r.once.Do(func() { r.result <- err })
+}
+
+// SessionState is the resumable half of a client session: everything a
+// reconnect needs to continue the cache's delta stream on a fresh
+// connection instead of refetching the table. A Supervisor captures it from
+// a dead client (Client.SessionState) and seeds the replacement with it
+// (NewClientResume), whose first Sync then issues a Serial Query for
+// Serial against SessionID — the RFC 8210 resumption handshake.
+type SessionState struct {
+	// SessionID and Serial identify the last completed sync.
+	SessionID uint16
+	Serial    uint32
+	// VRPs is the synchronized table at Serial. A resumed client seeds its
+	// local table from it, so incremental updates — and the delta of a full
+	// Reset fallback — stay relative to the pre-disconnect table.
+	VRPs []rpki.VRP
+	// Refresh/Retry/Expire are the timers from the most recent version-1
+	// End of Data (seconds); HasTimers reports whether one was seen.
+	Refresh, Retry, Expire uint32
+	HasTimers              bool
 }
 
 // Dial connects to a cache at addr ("host:port").
@@ -100,6 +129,18 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection (useful with net.Pipe in tests)
 // and starts the dispatch goroutine that owns all reads from it.
 func NewClient(nc net.Conn) *Client {
+	return NewClientResume(nc, nil)
+}
+
+// NewClientResume wraps an established connection like NewClient, but seeds
+// the client with a previous session's state so the first Sync resumes the
+// cache's delta stream (Serial Query) instead of refetching the table
+// (Reset Query). When the cache cannot serve the incremental stream — it
+// restarted with a new session ID, or evicted the delta chain — Sync falls
+// back to a full reset whose subscriber delta is computed against the
+// seeded table, so delta-fed consumers resync without a rebuild. A nil st
+// is a fresh start, identical to NewClient.
+func NewClientResume(nc net.Conn, st *SessionState) *Client {
 	c := &Client{
 		Version:  Version1,
 		conn:     nc,
@@ -107,8 +148,45 @@ func NewClient(nc net.Conn) *Client {
 		notifyCh: make(chan uint32, 1),
 		done:     make(chan struct{}),
 	}
+	if st != nil {
+		c.sessionID = st.SessionID
+		c.serial = st.Serial
+		c.haveState = true
+		for _, v := range st.VRPs {
+			c.vrps[v] = struct{}{}
+		}
+		if st.HasTimers {
+			c.refresh, c.retry, c.expire = st.Refresh, st.Retry, st.Expire
+			c.haveTimers = true
+		}
+	}
 	go c.dispatch()
 	return c
+}
+
+// SessionState snapshots the resumable session state for handoff to a
+// replacement client (NewClientResume), or nil when no sync has completed —
+// nothing to resume. It remains available after the dispatch loop dies: the
+// synchronized table outlives its connection.
+func (c *Client) SessionState() *SessionState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haveState {
+		return nil
+	}
+	st := &SessionState{
+		SessionID: c.sessionID,
+		Serial:    c.serial,
+		VRPs:      make([]rpki.VRP, 0, len(c.vrps)),
+		Refresh:   c.refresh,
+		Retry:     c.retry,
+		Expire:    c.expire,
+		HasTimers: c.haveTimers,
+	}
+	for v := range c.vrps {
+		st.VRPs = append(st.VRPs, v)
+	}
+	return st
 }
 
 // Close closes the connection; the dispatch loop observes the closed socket,
@@ -186,6 +264,15 @@ func (c *Client) SessionID() uint16 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sessionID
+}
+
+// FullSyncs returns how many full (Reset Query) exchanges have committed.
+// Zero on a resumed client means every sync so far was incremental — the
+// cache accepted the carried session outright.
+func (c *Client) FullSyncs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fullSyncs
 }
 
 // Set returns the synchronized VRPs as a normalized set.
@@ -353,6 +440,21 @@ func (c *Client) advance(req *request, pdu PDU, version byte) (finished bool, ex
 			req.started = true
 			req.session = p.SessionID
 			req.staged = make(map[rpki.VRP]struct{})
+			if !req.full {
+				// An incremental update is only meaningful against the
+				// session it continues (RFC 8210 §5.5: a session change
+				// invalidates all held data). A restarted cache should
+				// answer Cache Reset, but one that replies with its new
+				// session and a delta must not have that delta applied onto
+				// the carried table — consume the update to stay framed and
+				// resolve as a cache reset so Sync falls back to a full
+				// Reset Query.
+				c.mu.Lock()
+				if c.haveState && p.SessionID != c.sessionID {
+					req.discard = true
+				}
+				c.mu.Unlock()
+			}
 			return false, nil, nil
 		case *CacheReset:
 			return true, cacheResetError{}, nil
@@ -376,6 +478,9 @@ func (c *Client) advance(req *request, pdu PDU, version byte) (finished bool, ex
 	case *EndOfData:
 		if p.SessionID != req.session {
 			return false, nil, fmt.Errorf("rtr: End of Data session %d != Cache Response session %d", p.SessionID, req.session)
+		}
+		if req.discard {
+			return true, cacheResetError{}, nil
 		}
 		c.commit(req, p, version)
 		return true, nil, nil
@@ -441,6 +546,9 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 	c.sessionID = req.session
 	c.serial = eod.Serial
 	c.haveState = true
+	if req.full {
+		c.fullSyncs++
+	}
 	if version == Version1 {
 		c.refresh, c.retry, c.expire = eod.Refresh, eod.Retry, eod.Expire
 		c.haveTimers = true

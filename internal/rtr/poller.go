@@ -28,6 +28,22 @@ type Poller struct {
 	Refresh time.Duration
 	Retry   time.Duration
 	Expire  time.Duration
+	// ExitOnDone makes Run return the client's sticky error as soon as the
+	// client's dispatch loop dies, instead of retrying the dead client on
+	// the Retry interval until the Expire window passes. A reconnect
+	// supervisor sets this: a dead Client can never sync again, so the
+	// retry cadence belongs to the redial loop across connections, not to
+	// this generation. Set before Run.
+	ExitOnDone bool
+	// SyncTimeout bounds one Sync exchange in wall-clock time; 0 disables.
+	// A cache that accepts the connection but never answers would otherwise
+	// wedge the poller forever — the client has no read deadline by design
+	// (deadlines mid-PDU are the desync bug the dispatch loop removed), so
+	// the watchdog tears the whole session down instead: it closes the
+	// connection, the exchange fails with the sticky error, and the caller
+	// (or supervisor) redials. Always real time, never the test clock: it
+	// guards against wall-clock wedges, not protocol state. Set before Run.
+	SyncTimeout time.Duration
 
 	mu       sync.Mutex
 	lastSync time.Time
@@ -91,6 +107,29 @@ func (p *Poller) LastSync() time.Time {
 	return p.lastSync
 }
 
+// SyncState reports the poller's Expire clock: the time of the last
+// successful sync and whether one has ever succeeded. A supervisor reads it
+// when a client generation dies and seeds the next generation's poller with
+// ResumeSyncState, so the Expire window keeps measuring from the last
+// successful sync rather than restarting at each reconnect.
+func (p *Poller) SyncState() (lastSync time.Time, synced bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSync, p.synced
+}
+
+// ResumeSyncState seeds the Expire clock from a previous client generation.
+// Without it a replacement poller would treat its first failed sync as
+// "never synced" — immediately expired — and a flapping cache could keep
+// stale data looking fresh forever by resetting the window at every
+// reconnect. Call before Run.
+func (p *Poller) ResumeSyncState(lastSync time.Time, synced bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastSync = lastSync
+	p.synced = synced
+}
+
 // retryInterval returns the current Retry timer value.
 func (p *Poller) retryInterval() time.Duration {
 	p.mu.Lock()
@@ -130,8 +169,10 @@ func (p *Poller) adoptTimers() {
 // again. A failed sync is retried on the Retry interval for as long as the
 // data is within its Expire window; once the window passes with every retry
 // failing — or when the initial sync fails — Run returns the error, since
-// the Client cannot re-dial and the caller must reconnect. Run performs the
-// initial sync itself and returns nil when stopped.
+// the Client cannot re-dial and the caller must reconnect. With ExitOnDone
+// set, Run instead returns as soon as the client's dispatch loop dies,
+// without burning Retry intervals on a connection that cannot recover. Run
+// performs the initial sync itself and returns nil when stopped.
 //
 // The Client's dispatch goroutine owns the connection, so idling is a plain
 // select over the notify channel, the refresh timer, connection death, and
@@ -143,6 +184,12 @@ func (p *Poller) Run() error {
 		if err := p.syncOnce(); err != nil {
 			if p.isStopped() {
 				return nil
+			}
+			if p.ExitOnDone && p.clientDead() {
+				// The dispatch loop is gone: every further sync would fail
+				// fast with the same sticky error. Hand the connection
+				// lifecycle back to the supervisor immediately.
+				return err
 			}
 			if p.expired() {
 				// Expired data and an unreachable cache: surface the error
@@ -178,6 +225,17 @@ func (p *Poller) Run() error {
 }
 
 func (p *Poller) syncOnce() error {
+	if p.SyncTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-time.After(p.SyncTimeout):
+				p.Client.Close()
+			case <-stop:
+			}
+		}()
+	}
 	serial, err := p.Client.Sync()
 	if err != nil {
 		return err
@@ -213,6 +271,15 @@ func (p *Poller) isStopped() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stopped
+}
+
+// clientDead reports whether the client session is sticky-failed. The
+// sticky error is checked rather than Done: a failed write records the
+// error synchronously, while Done closes only after the dispatch goroutine
+// observes the dead socket — checking Done would race that window and
+// misclassify a dead client as a retryable sync failure.
+func (p *Poller) clientDead() bool {
+	return p.Client.Err() != nil
 }
 
 // ErrExpired is reported by validation-side callers when Healthy() is false

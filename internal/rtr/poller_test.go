@@ -426,3 +426,34 @@ func TestPollerConnFailureWhileIdle(t *testing.T) {
 		t.Fatal("poller still healthy after expiry")
 	}
 }
+
+// TestPollerSyncTimeoutUnwedgesSilentCache pins the liveness watchdog: a
+// cache that accepts the connection and reads the query but never answers
+// would block the exchange forever (the client has no read deadline by
+// design), so SyncTimeout must tear the session down and surface the error
+// promptly — the supervisor's cue to redial.
+func TestPollerSyncTimeoutUnwedgesSilentCache(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	c := NewClient(cliConn)
+	p := NewPoller(c)
+	p.ExitOnDone = true
+	p.SyncTimeout = 50 * time.Millisecond
+
+	// The wedged cache: consume the query, then go silent forever.
+	go func() { _, _, _ = ReadPDU(srvConn) }()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- p.Run() }()
+	select {
+	case err := <-runErr:
+		if err == nil {
+			t.Fatal("Run returned nil against a silent cache")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SyncTimeout did not unwedge the blocked exchange")
+	}
+	if c.Err() == nil {
+		t.Fatal("watchdog teardown did not record a sticky error")
+	}
+}

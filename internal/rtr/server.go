@@ -83,6 +83,18 @@ func (s *Server) SessionID() uint16 {
 	return s.sessionID
 }
 
+// SetSession overrides the session ID and serial the cache serves from,
+// before any router connects. A cache restarted from a state snapshot keeps
+// its previous session so routers resume their incremental stream with a
+// Serial Query; a cache restarted fresh picks a new session ID, which (per
+// RFC 8210 §5.5) forces routers through Cache Reset and a full resync.
+func (s *Server) SetSession(id uint16, serial uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionID = id
+	s.serial = serial
+}
+
 // UpdateSet replaces the served VRP set, computes the announce/withdraw
 // delta, bumps the serial, and notifies connected routers.
 func (s *Server) UpdateSet(next *rpki.Set) {

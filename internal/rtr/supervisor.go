@@ -1,0 +1,515 @@
+package rtr
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rpki"
+)
+
+// Supervisor completes the router-side deployment story: it owns the dial
+// function, a persistent subscriber list, and the session state, and drives
+// the full RFC 8210 lifecycle across connections. A Client is single-shot
+// by design — when its dispatch loop dies the session is over — so the
+// Supervisor redials with exponential backoff plus jitter, constructs a
+// fresh Client seeded with the dead generation's SessionState, re-registers
+// every subscriber, and resumes with a Serial Query carrying the cached
+// session ID and serial. When the cache cannot serve the incremental stream
+// (it restarted with a new session ID, or evicted the delta chain), the
+// client falls back to a Reset Query and the subscriber delta is computed
+// against the carried table — a delta-fed rov.LiveIndex resyncs in O(diff)
+// either way. Only when the carried state itself is unusable (the Expire
+// window passed during the outage, so §6 forbids diffing against it) do
+// reset subscribers rebuild from the full post-reconnect table.
+//
+// Health follows the paper's deployment assumption — a router continuously
+// validated against its cache: Healthy measures the Expire window from the
+// last *successful sync*, carried across client generations, so a cache
+// that flaps every few minutes cannot keep stale data looking fresh by
+// resetting the clock at each reconnect.
+type Supervisor struct {
+	// Dial establishes a connection to the cache; it is called once per
+	// client generation. Required.
+	Dial func() (net.Conn, error)
+	// Version is the protocol version for each new client.
+	Version byte
+	// OnUpdate, when set, is invoked after every successful sync with the
+	// new serial, on the supervisor goroutine.
+	OnUpdate func(serial uint32)
+	// Refresh/Retry/Expire are fallback timers until the cache advertises
+	// its own in a version-1 End of Data; adopted values are carried across
+	// generations. Read or set them only before Run or after Stop.
+	Refresh, Retry, Expire time.Duration
+	// BackoffMin seeds the redial backoff; each failed generation doubles
+	// it up to BackoffMax. A zero BackoffMax caps at the current Retry
+	// interval — the cadence RFC 8210 prescribes for an unreachable cache —
+	// and never beyond the Expire window. The backoff resets to BackoffMin
+	// after every successful sync.
+	BackoffMin, BackoffMax time.Duration
+	// SyncTimeout bounds each Sync exchange in wall-clock time (see
+	// Poller.SyncTimeout): a cache that accepts connections but never
+	// answers must not wedge a generation forever, or the supervisor could
+	// never redial. Zero derives the bound from the current Retry interval.
+	SyncTimeout time.Duration
+	// Logf, when set, receives lifecycle diagnostics (redials, fallbacks).
+	Logf func(format string, args ...interface{})
+
+	mu    sync.Mutex
+	subs  []func(announced, withdrawn []rpki.VRP)
+	rsubs []func(table []rpki.VRP)
+	// state is the session carried across generations; nil means the next
+	// generation starts fresh (first connect, or the data expired).
+	state *SessionState
+	// lastSync/synced are the supervisor's own Expire clock, seeded into
+	// every generation's poller and surfaced by Healthy.
+	lastSync time.Time
+	synced   bool
+	// delivered records that some subscriber has received data; dropping
+	// carried state after that point marks a discontinuity, and the next
+	// successful sync is delivered as a reset instead of a delta.
+	delivered     bool
+	discontinuity bool
+	cur           *Poller // current generation; nil between connections
+	stopped       bool
+	stopCh        chan struct{}
+	doneCh        chan struct{}
+	stats         SupervisorStats
+
+	// nowFn/afterFn/jitterFn are the supervisor's clock and jitter source,
+	// overridable by tests; nil means time.Now / time.After / math/rand.
+	nowFn    func() time.Time
+	afterFn  func(time.Duration) <-chan time.Time
+	jitterFn func() float64
+}
+
+// SupervisorStats counts lifecycle events; read a snapshot with Stats.
+type SupervisorStats struct {
+	// Dials is the number of connection attempts; DialFailures of them
+	// returned an error before a client was even constructed.
+	Dials        int
+	DialFailures int
+	// Generations counts clients that completed at least one sync.
+	Generations int
+	// SerialResumes counts generations whose first sync resumed the carried
+	// session purely by Serial Query; ResetFallbacks counts generations
+	// that carried state but were forced through a full Reset Query (cache
+	// restarted or evicted the delta chain) — still delivered to
+	// subscribers as a delta against the carried table.
+	SerialResumes  int
+	ResetFallbacks int
+	// Rebuilds counts reset deliveries: the carried state was unusable
+	// (expired during the outage) and reset subscribers replaced their
+	// derived state from the full table.
+	Rebuilds int
+}
+
+// NewSupervisor returns a supervisor with RFC 8210 default timers and a
+// one-second initial backoff. The caller registers subscribers, then Run.
+func NewSupervisor(dial func() (net.Conn, error)) *Supervisor {
+	return &Supervisor{
+		Dial:       dial,
+		Version:    Version1,
+		Refresh:    3600 * time.Second,
+		Retry:      600 * time.Second,
+		Expire:     7200 * time.Second,
+		BackoffMin: time.Second,
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+}
+
+func (s *Supervisor) timeNow() time.Time {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	return time.Now()
+}
+
+func (s *Supervisor) timerAfter(d time.Duration) <-chan time.Time {
+	if s.afterFn != nil {
+		return s.afterFn(d)
+	}
+	return time.After(d)
+}
+
+func (s *Supervisor) jitter() float64 {
+	if s.jitterFn != nil {
+		return s.jitterFn()
+	}
+	return rand.Float64()
+}
+
+func (s *Supervisor) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Subscribe registers fn as a delta consumer with the same contract as
+// Client.Subscribe — sequential delivery, deltas exact against the local
+// table — except that delivery persists across reconnects: the supervisor
+// re-registers its relay on every client generation, and because each
+// generation is seeded with the previous one's table, the delta stream
+// stays continuous through redials, session changes, and Reset fallbacks.
+// A consumer that derives state from deltas should pair Subscribe with
+// OnReset for the one case deltas cannot cover. Register before Run.
+func (s *Supervisor) Subscribe(fn func(announced, withdrawn []rpki.VRP)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+// OnReset registers fn to receive the full post-sync table whenever the
+// supervisor could not carry state across a reconnect — the outage
+// outlasted the Expire window, so the new table cannot be expressed as a
+// delta against what subscribers hold. Consumers must replace their derived
+// state (rov.LiveIndex.ResetTo); the matching delta delivery is suppressed.
+// Delta-only consumers (counters, logs) may skip this. Register before Run.
+func (s *Supervisor) OnReset(fn func(table []rpki.VRP)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rsubs = append(s.rsubs, fn)
+}
+
+// Stats returns a snapshot of the lifecycle counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Healthy reports whether a sync succeeded within the Expire window — the
+// window is measured from the last successful sync on any generation, never
+// from a (re)connect, so it keeps shrinking through an outage no matter how
+// often the supervisor redials. When false, RFC 8210 §6 says the router
+// must stop using the data (see rov callers of Poller.Healthy).
+func (s *Supervisor) Healthy() bool {
+	now := s.timeNow()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced && now.Sub(s.lastSync) < s.Expire
+}
+
+// LastSync returns the time of the last successful sync on any generation.
+func (s *Supervisor) LastSync() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSync
+}
+
+// Client returns the current generation's client, or nil between
+// connections. The client may die at any moment; treat it as advisory
+// (logging, table export), not as a handle to hold.
+func (s *Supervisor) Client() *Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.Client
+}
+
+// Run drives the reconnect loop until Stop: dial, run a client generation
+// to death, carry its state, back off, redial. It never gives up on its
+// own — an unreachable cache surfaces as Healthy() == false once the
+// Expire window passes, while Run keeps probing — and returns nil when
+// stopped, or an error only for a misconfiguration (nil Dial).
+func (s *Supervisor) Run() error {
+	defer close(s.doneCh)
+	if s.Dial == nil {
+		return errors.New("rtr: Supervisor.Dial is nil")
+	}
+	backoff := s.BackoffMin
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	for {
+		if s.isStopped() {
+			return nil
+		}
+		synced, err := s.generation()
+		if s.isStopped() {
+			return nil
+		}
+		if synced {
+			backoff = s.BackoffMin
+			if backoff <= 0 {
+				backoff = time.Second
+			}
+		}
+		// Jittered sleep in [backoff/2, backoff): half deterministic, half
+		// random, so a cache restart does not resynchronize its routers
+		// into a reconnect stampede.
+		half := backoff / 2
+		delay := half + time.Duration(s.jitter()*float64(backoff-half))
+		s.logf("rtr supervisor: connection lost (%v); redialing in %v", err, delay)
+		select {
+		case <-s.stopCh:
+			return nil
+		case <-s.timerAfter(delay):
+		}
+		if limit := s.backoffCap(); backoff < limit {
+			backoff *= 2
+			if backoff > limit {
+				backoff = limit
+			}
+		}
+	}
+}
+
+// backoffCap bounds the redial backoff: BackoffMax when set, otherwise the
+// current Retry interval, and never beyond the Expire window.
+func (s *Supervisor) backoffCap() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	limit := s.BackoffMax
+	if limit <= 0 {
+		limit = s.Retry
+	}
+	if s.Expire > 0 && limit > s.Expire {
+		limit = s.Expire
+	}
+	if limit < s.BackoffMin {
+		limit = s.BackoffMin
+	}
+	return limit
+}
+
+// generation runs one client lifetime: dial, seed, sync until the
+// connection dies. It reports whether any sync succeeded (resets the
+// backoff) and the error that ended the generation.
+func (s *Supervisor) generation() (syncedAny bool, err error) {
+	s.mu.Lock()
+	// Drop carried state once the Expire window has passed: §6 forbids
+	// using the data, and the cache's table may have drifted arbitrarily —
+	// the next successful sync is delivered as a reset, not a delta.
+	// (timeNow only reads nowFn, so calling it under mu is safe.)
+	if s.state != nil && s.synced && s.timeNow().Sub(s.lastSync) >= s.Expire {
+		s.logf("rtr supervisor: carried state expired (last sync %v ago); next sync will reset subscribers",
+			s.timeNow().Sub(s.lastSync))
+		s.state = nil
+		if s.delivered {
+			s.discontinuity = true
+		}
+	}
+	st := s.state
+	disc := s.discontinuity
+	refresh, retry, expire := s.Refresh, s.Retry, s.Expire
+	lastSync, synced := s.lastSync, s.synced
+	s.mu.Unlock()
+
+	conn, err := s.Dial()
+	s.mu.Lock()
+	s.stats.Dials++
+	if err != nil {
+		s.stats.DialFailures++
+		s.mu.Unlock()
+		return false, err
+	}
+	s.mu.Unlock()
+
+	c := NewClientResume(conn, st)
+	c.Version = s.Version
+	g := &generation{sup: s, client: c, resumed: st != nil, discontinuity: disc}
+	c.Subscribe(g.relay)
+
+	p := NewPoller(c)
+	p.Refresh, p.Retry, p.Expire = refresh, retry, expire
+	p.ExitOnDone = true
+	p.SyncTimeout = s.SyncTimeout
+	if p.SyncTimeout <= 0 {
+		p.SyncTimeout = retry
+	}
+	p.nowFn, p.afterFn = s.nowFn, s.afterFn
+	p.ResumeSyncState(lastSync, synced)
+	p.OnUpdate = g.onUpdate
+
+	s.mu.Lock()
+	s.cur = p
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		// Stop raced the dial and may have missed s.cur; p.Run never
+		// started, so tear the connection down here instead of p.Stop
+		// (which would wait for a Run that will never begin).
+		c.Close()
+		s.mu.Lock()
+		s.cur = nil
+		s.mu.Unlock()
+		return false, nil
+	}
+
+	err = p.Run()
+
+	// The generation is over even if the connection is technically alive
+	// (Run can return on protocol-level failures that leave the session
+	// framed, e.g. persistent Error Reports): close it, or each redial
+	// cycle would leak a connection and its dispatch goroutine.
+	c.Close()
+
+	// Carry the session and the adopted timers into the next generation.
+	// The client's table survives its dispatch loop, and the poller's
+	// timer fields are stable once Run has returned.
+	st2 := c.SessionState()
+	s.mu.Lock()
+	s.cur = nil
+	if st2 != nil {
+		s.state = st2
+	}
+	s.Refresh, s.Retry, s.Expire = p.Refresh, p.Retry, p.Expire
+	s.mu.Unlock()
+	return g.syncedAny, err
+}
+
+// generation is the per-client glue: the relay registered as the client's
+// subscriber and the poller's OnUpdate hook. relay runs on the client's
+// dispatch goroutine, onUpdate on the supervisor goroutine; for any one
+// update, relay happens before the producing sync returns, which happens
+// before onUpdate — so the fields below need no lock.
+type generation struct {
+	sup    *Supervisor
+	client *Client
+	// resumed records that this client was seeded with carried state;
+	// discontinuity that subscribers hold a table this client cannot diff
+	// against (its first sync is delivered as a reset via onUpdate, and
+	// relay suppresses the corresponding delta).
+	resumed       bool
+	discontinuity bool
+	syncedAny     bool
+}
+
+// relay forwards a client delta to the supervisor's subscribers. The first
+// delta of a discontinuous generation is suppressed: the client was seeded
+// empty, so that delta is the whole table announced at once, and onUpdate
+// delivers it through the reset path instead.
+func (g *generation) relay(announced, withdrawn []rpki.VRP) {
+	if g.discontinuity && !g.syncedAny {
+		return
+	}
+	g.sup.deliverDelta(announced, withdrawn)
+}
+
+// onUpdate runs after every successful sync. The first one classifies how
+// the generation rejoined the cache (serial resume, reset fallback, or
+// subscriber reset) before the common bookkeeping.
+func (g *generation) onUpdate(serial uint32) {
+	if !g.syncedAny {
+		if g.discontinuity {
+			// Deliver the reset before marking the sync done so a
+			// subscriber never observes a post-reset delta arriving first.
+			g.sup.deliverReset(g.client.Set().VRPs())
+		}
+		g.sup.classifyFirstSync(g.resumed, g.client.FullSyncs() == 0)
+		g.syncedAny = true
+	}
+	// Adopt the cache's advertised timers as soon as a sync commits — not
+	// only at generation end — so Healthy's Expire window and the backoff
+	// cap track the values §6 says are in force right now.
+	g.sup.adoptTimers(g.client)
+	g.sup.noteSync(serial)
+}
+
+// deliverDelta fans a delta out to the Subscribe consumers, sequentially in
+// registration order, on the calling (dispatch) goroutine.
+func (s *Supervisor) deliverDelta(announced, withdrawn []rpki.VRP) {
+	s.mu.Lock()
+	subs := make([]func(announced, withdrawn []rpki.VRP), len(s.subs))
+	copy(subs, s.subs)
+	s.delivered = true
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(announced, withdrawn)
+	}
+}
+
+// deliverReset fans the full table out to the OnReset consumers and clears
+// the discontinuity: from here on, deltas are continuous again.
+func (s *Supervisor) deliverReset(table []rpki.VRP) {
+	s.mu.Lock()
+	rsubs := make([]func(table []rpki.VRP), len(s.rsubs))
+	copy(rsubs, s.rsubs)
+	s.delivered = true
+	s.discontinuity = false
+	s.stats.Rebuilds++
+	s.mu.Unlock()
+	s.logf("rtr supervisor: carried state unusable; resetting %d subscribers to a %d-VRP table", len(rsubs), len(table))
+	for _, fn := range rsubs {
+		fn(table)
+	}
+}
+
+// classifyFirstSync updates the resume-vs-reset counters for a generation's
+// first successful sync.
+func (s *Supervisor) classifyFirstSync(resumed, serialOnly bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Generations++
+	if !resumed {
+		return
+	}
+	if serialOnly {
+		s.stats.SerialResumes++
+	} else {
+		s.stats.ResetFallbacks++
+	}
+}
+
+// adoptTimers copies the cache's advertised End of Data timers over the
+// supervisor's current values, ignoring zero (unadvertised) fields.
+func (s *Supervisor) adoptTimers(c *Client) {
+	refresh, retry, expire, ok := c.Timers()
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if refresh > 0 {
+		s.Refresh = refresh
+	}
+	if retry > 0 {
+		s.Retry = retry
+	}
+	if expire > 0 {
+		s.Expire = expire
+	}
+}
+
+// noteSync advances the Expire clock shared across generations.
+func (s *Supervisor) noteSync(serial uint32) {
+	now := s.timeNow()
+	s.mu.Lock()
+	s.lastSync = now
+	s.synced = true
+	s.mu.Unlock()
+	if s.OnUpdate != nil {
+		s.OnUpdate(serial)
+	}
+}
+
+// Stop terminates Run, tears down the current client generation, and waits
+// for the supervisor goroutine to exit.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.doneCh
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	cur := s.cur
+	s.mu.Unlock()
+	if cur != nil {
+		cur.Stop()
+	}
+	<-s.doneCh
+}
+
+func (s *Supervisor) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}

@@ -1,0 +1,144 @@
+package rtr
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rov"
+	"repro/internal/rpki"
+)
+
+// relisten rebinds the exact address a killed listener held. Go listeners
+// set SO_REUSEADDR, so the rebind normally succeeds at once; a short retry
+// covers the window where the old socket is still tearing down.
+func relisten(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			return l
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// liveTable reads the LiveIndex's current table as a normalized set.
+func liveTable(l *rov.LiveIndex) *rpki.Set {
+	return rpki.NewSet(l.Snapshot().AppendVRPs(nil))
+}
+
+// TestSupervisorRealServerRestart is the end-to-end recovery proof against
+// the real in-repo server: the cache process is killed mid-session and
+// restarted on the same address, first with its previous session (the
+// supervisor must resume by Serial Query, no full sync, no rebuild), then
+// with a fresh session ID and a different table (the supervisor must fall
+// back through Cache Reset to a Reset Query, and the LiveIndex must
+// converge to the post-restart table by delta). Throughout, the outage is
+// far shorter than the Expire window measured from the last successful
+// sync, so the supervisor must never report unhealthy. Run under -race by
+// make race.
+func TestSupervisorRealServerRestart(t *testing.T) {
+	table1 := testVRPs()
+	srv1 := NewServer(table1)
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	go srv1.Serve(l1)
+
+	live := rov.NewLiveIndex(rpki.NewSet(nil))
+	sup := NewSupervisor(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+	sup.BackoffMin = 2 * time.Millisecond
+	sup.BackoffMax = 20 * time.Millisecond
+	sup.Subscribe(live.Apply)
+	sup.OnReset(live.ResetTo)
+	runErr := make(chan error, 1)
+	go func() { runErr <- sup.Run() }()
+	defer func() {
+		sup.Stop()
+		if err := <-runErr; err != nil {
+			t.Errorf("Run returned %v after Stop", err)
+		}
+	}()
+
+	waitFor(t, func() bool { return liveTable(live).Equal(table1) })
+	if !sup.Healthy() {
+		t.Fatal("unhealthy after initial sync")
+	}
+	healthyThroughout := func(phase string) {
+		t.Helper()
+		if !sup.Healthy() {
+			t.Fatalf("%s: supervisor unhealthy although the outage was far inside the Expire window", phase)
+		}
+	}
+	sess, serial := srv1.SessionID(), srv1.Serial()
+
+	// Phase 1: kill the cache mid-session and restart it from a state
+	// snapshot — same session ID, same serial, same table — then push an
+	// update. The supervisor must resume with a Serial Query (the restarted
+	// cache accepts it: the session matches and the delta chain from the
+	// router's serial is retained) and apply the update incrementally.
+	srv1.Close()
+	srv2 := NewServer(table1)
+	srv2.SetSession(sess, serial)
+	l2 := relisten(t, addr)
+	go srv2.Serve(l2)
+	table2 := rpki.NewSet(append(table1.VRPs(),
+		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 64500}))
+	srv2.UpdateSet(table2)
+
+	waitFor(t, func() bool { return liveTable(live).Equal(table2) })
+	healthyThroughout("same-session restart")
+	st := sup.Stats()
+	if st.SerialResumes < 1 {
+		t.Fatalf("same-session restart did not resume by Serial Query: %+v", st)
+	}
+	if st.ResetFallbacks != 0 || st.Rebuilds != 0 {
+		t.Fatalf("same-session restart forced a reset or rebuild: %+v", st)
+	}
+
+	// Phase 2: kill the cache again and restart it fresh — new session ID,
+	// no retained deltas, and a changed table. The carried Serial Query is
+	// answered with Cache Reset; the supervisor's client falls back to a
+	// Reset Query, and the LiveIndex converges to the post-restart table by
+	// the diff delta — still no subscriber rebuild, because the carried
+	// state was usable for diffing.
+	srv2.Close()
+	table3 := rpki.NewSet([]rpki.VRP{
+		{Prefix: mp("168.122.0.0/16"), MaxLength: 16, AS: 111},
+		{Prefix: mp("203.0.113.0/24"), MaxLength: 24, AS: 64501},
+		{Prefix: mp("2001:db8:1::/48"), MaxLength: 64, AS: 64496},
+	})
+	srv3 := NewServer(table3)
+	srv3.SetSession(sess+1, 1)
+	l3 := relisten(t, addr)
+	go srv3.Serve(l3)
+	defer srv3.Close()
+
+	waitFor(t, func() bool { return liveTable(live).Equal(table3) })
+	healthyThroughout("new-session restart")
+	st = sup.Stats()
+	if st.ResetFallbacks < 1 {
+		t.Fatalf("new-session restart did not go through the Reset fallback: %+v", st)
+	}
+	if st.Rebuilds != 0 {
+		t.Fatalf("in-window restart rebuilt subscribers instead of resyncing by delta: %+v", st)
+	}
+
+	// The validation answers must match the post-restart table exactly.
+	snap := live.Snapshot()
+	for _, v := range table3.VRPs() {
+		if got := snap.Validate(v.Prefix, v.AS); got != rov.Valid {
+			t.Fatalf("post-restart Validate(%s, %v) = %v, want Valid", v.Prefix, v.AS, got)
+		}
+	}
+	if got := snap.Validate(mp("10.0.0.0/8"), 64500); got == rov.Valid {
+		t.Fatalf("withdrawn-by-restart VRP still Valid")
+	}
+}
