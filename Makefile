@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-diff fuzz
+.PHONY: check fmt vet lint build test race bench bench-smoke bench-diff fuzz
 
-# check is the CI gate: formatting, vet, build, and the race-enabled tests.
-check: fmt vet build race
+# check is the CI gate: formatting, vet, the repo-invariant lint, build, and
+# the race-enabled tests.
+check: fmt vet lint build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -11,8 +12,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# vet runs with the repo's format-wrapper and must-use-result knowledge.
+# -printf.funcs ADDS to vet's defaults; -unusedresult.funcs REPLACES them,
+# so the stdlib defaults are restated before the repo's pure functions.
+VET_PRINTF_FUNCS = logf,protoErr,Reportf
+VET_UNUSEDRESULT_STD = context.WithCancel,context.WithDeadline,context.WithTimeout,context.WithValue,errors.New,fmt.Errorf,fmt.Sprint,fmt.Sprintf,slices.Clip,slices.Compact,slices.CompactFunc,slices.Delete,slices.DeleteFunc,slices.Grow,slices.Insert,slices.Replace,sort.Reverse
+VET_UNUSEDRESULT_REPRO = repro/internal/rtr.SerialLess,repro/internal/rtr.SerialNewer,repro/internal/rtr.SerialAdvance,repro/internal/rov.NewIndex
 vet:
-	$(GO) vet ./...
+	$(GO) vet -printf.funcs=$(VET_PRINTF_FUNCS) \
+		-unusedresult.funcs=$(VET_UNUSEDRESULT_STD),$(VET_UNUSEDRESULT_REPRO) ./...
+
+# lint runs reprolint, the in-tree static-analysis suite for the invariants
+# the hot paths depend on (see cmd/reprolint and the README). Zero
+# unsuppressed findings is the bar; suppress with
+# //lint:ignore <check> <reason>.
+lint:
+	$(GO) run ./cmd/reprolint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,340 @@
+package main
+
+// arenaptr: the core arena engine (core.Engine[V]) stores every trie node in
+// one contiguous slab addressed by int32 indices. Taking the address of a
+// slab element (`&e.Nodes[i]`, `&nodes[i].Val`) yields a pointer that goes
+// stale the moment the slab grows — Alloc/Clone/Ensure/PathInsert append,
+// and append relocates the backing array, after which the old pointer reads
+// and writes a dead copy. The discipline: slab pointers may exist only as
+// short-lived locals with no slab growth between creation and last use, and
+// must never escape the function. Everything else is flagged.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	enginePkg      = "repro/internal/core"
+	engineTypeName = "Engine"
+	nodeTypeName   = "Node"
+)
+
+var arenaPtrAnalyzer = &Analyzer{
+	Name: "arenaptr",
+	Doc:  "flags slab-element pointers (&e.Nodes[i]) that escape or are held across a slab-growing call",
+	Run:  runArenaPtr,
+}
+
+// growthMethods are the Engine methods that can append to the slab and
+// relocate it.
+var growthMethods = map[string]bool{
+	"Alloc": true, "Clone": true, "Ensure": true,
+	"PathInsert": true, "Init": true,
+}
+
+// isNodeSlabSlice reports whether t is []core.Node[V] — the engine slab (or
+// a slice aliasing it, which shares the staleness hazard).
+func isNodeSlabSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == nodeTypeName && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
+}
+
+// isEngineType reports whether t is core.Engine[V] or a pointer to it.
+func isEngineType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == engineTypeName && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
+}
+
+// isSlabElemAddr reports whether e is `&expr` where expr indexes into an
+// engine slab somewhere along its selector/index chain.
+func (v *arenaVisitor) isSlabElemAddr(e ast.Expr) bool {
+	ue, ok := e.(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return false
+	}
+	for x := ue.X; ; {
+		switch t := x.(type) {
+		case *ast.IndexExpr:
+			if isNodeSlabSlice(v.pass.TypeOf(t.X)) {
+				return true
+			}
+			x = t.X
+		case *ast.SelectorExpr:
+			x = t.X
+		case *ast.ParenExpr:
+			x = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// isGrowthCall reports whether n is a call that can grow a slab: an Engine
+// growth method, or an append whose result lands in a slab-typed expression
+// (e.Nodes = append(e.Nodes, ...) sits inside the engine itself, but the
+// pattern is checked everywhere).
+func (v *arenaVisitor) isGrowthCall(n ast.Node) bool {
+	switch t := n.(type) {
+	case *ast.CallExpr:
+		sel, ok := t.Fun.(*ast.SelectorExpr)
+		if !ok || !growthMethods[sel.Sel.Name] {
+			return false
+		}
+		return isEngineType(v.pass.TypeOf(sel.X))
+	case *ast.AssignStmt:
+		for i, rhs := range t.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if i < len(t.Lhs) && isNodeSlabSlice(v.pass.TypeOf(t.Lhs[i])) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type arenaVisitor struct {
+	pass *Pass
+}
+
+func runArenaPtr(pass *Pass) {
+	v := &arenaVisitor{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				if d.Body != nil {
+					v.checkFunc(d.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc flags every slab-element pointer in body that escapes or spans a
+// growth call. Nested closures are checked recursively as functions of their
+// own; a slab pointer captured from the enclosing function escapes by
+// definition and is caught in the enclosing function's capture scan.
+func (v *arenaVisitor) checkFunc(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			v.checkFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+	// Pass 1: classify each slab-pointer creation site.
+	type local struct {
+		obj      types.Object
+		bindPos  token.Pos // start of the binding statement, for reporting
+		liveFrom token.Pos // end of the binding statement: growth inside the
+		// binding RHS (&e.Nodes[e.PathInsert(...)]) runs before the pointer
+		// exists and is the sanctioned grow-then-address idiom
+		lastUse  token.Pos
+		reported bool
+	}
+	var locals []*local
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // handled as its own function
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if ok {
+			for i, rhs := range as.Rhs {
+				if !v.isSlabElemAddr(rhs) || i >= len(as.Lhs) {
+					continue
+				}
+				if id, isIdent := as.Lhs[i].(*ast.Ident); isIdent && id.Name != "_" {
+					var obj types.Object
+					if o := v.pass.Info.Defs[id]; o != nil {
+						obj = o
+					} else if o := v.pass.Info.Uses[id]; o != nil {
+						obj = o
+					}
+					if obj != nil && isLocalVar(obj) {
+						locals = append(locals, &local{obj: obj, bindPos: as.Pos(), liveFrom: as.End()})
+						continue
+					}
+				}
+				// Assignment anywhere but a plain local: the pointer outlives
+				// this statement list.
+				v.pass.Reportf(rhs.Pos(), "slab-element pointer escapes into %s: it goes stale when the slab grows; keep the int32 index instead", describeLHS(as.Lhs[i]))
+			}
+			return true
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				if v.isSlabElemAddr(r) {
+					v.pass.Reportf(r.Pos(), "slab-element pointer escapes via return: it goes stale when the slab grows; return the int32 index instead")
+				}
+			}
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				if v.isSlabElemAddr(arg) {
+					v.pass.Reportf(arg.Pos(), "slab-element pointer passed to a call: the callee may retain it or grow the slab; pass the int32 index instead")
+				}
+			}
+			return true
+		}
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			for _, el := range cl.Elts {
+				e := el
+				if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+					e = kv.Value
+				}
+				if v.isSlabElemAddr(e) {
+					v.pass.Reportf(e.Pos(), "slab-element pointer stored in a composite literal: it goes stale when the slab grows; store the int32 index instead")
+				}
+			}
+			return true
+		}
+		if send, ok := n.(*ast.SendStmt); ok {
+			if v.isSlabElemAddr(send.Value) {
+				v.pass.Reportf(send.Value.Pos(), "slab-element pointer sent on a channel: it goes stale when the slab grows; send the int32 index instead")
+			}
+			return true
+		}
+		return true
+	})
+
+	if len(locals) == 0 {
+		return
+	}
+
+	// Pass 2: last textual use of each tracked local, and whether a closure
+	// captures it (capture = escape: the closure can run after any growth).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				for _, lc := range locals {
+					if v.pass.Info.Uses[id] == lc.obj && !lc.reported {
+						lc.reported = true
+						v.pass.Reportf(id.Pos(), "slab-element pointer %s captured by a closure: it goes stale when the slab grows; capture the int32 index instead", lc.obj.Name())
+					}
+				}
+				return true
+			})
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, lc := range locals {
+			if v.pass.Info.Uses[id] == lc.obj && id.Pos() > lc.lastUse {
+				lc.lastUse = id.Pos()
+			}
+		}
+		return true
+	})
+
+	// Pass 3: growth calls inside each local's live window. A window is the
+	// textual span bind..lastUse, widened to a whole loop body when the
+	// binding sits outside a loop that uses the pointer — iteration N may
+	// grow after iteration N's last use and before iteration N+1's first.
+	var growths []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if v.isGrowthCall(n) {
+			growths = append(growths, n)
+		}
+		return true
+	})
+	if len(growths) == 0 {
+		return
+	}
+	var loops []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	within := func(pos token.Pos, n ast.Node) bool { return n.Pos() <= pos && pos <= n.End() }
+	for _, lc := range locals {
+		if lc.reported || lc.lastUse == token.NoPos {
+			continue
+		}
+		for _, g := range growths {
+			direct := lc.liveFrom <= g.Pos() && g.Pos() <= lc.lastUse
+			wrapped := false
+			for _, loop := range loops {
+				if !within(lc.liveFrom, loop) && within(lc.lastUse, loop) && within(g.Pos(), loop) {
+					wrapped = true
+					break
+				}
+			}
+			if direct || wrapped {
+				lc.reported = true
+				v.pass.Reportf(lc.bindPos, "slab-element pointer %s is held across a slab-growing call (%s): the growth relocates the slab and the pointer goes stale; re-index after growth or keep the int32 index",
+					lc.obj.Name(), v.pass.Fset.Position(g.Pos()))
+				break
+			}
+		}
+	}
+}
+
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-scope variables hold the pointer beyond any growth call.
+	return v.Parent() != v.Pkg().Scope()
+}
+
+func describeLHS(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		return "field " + t.Sel.Name
+	case *ast.IndexExpr:
+		return "a slice/map element"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	case *ast.Ident:
+		return "package-level variable " + t.Name
+	}
+	return "a non-local location"
+}

@@ -1,0 +1,273 @@
+package main
+
+// The analyzer framework: findings with positions, a cross-package
+// annotation table built from //repro:* directives, and //lint:ignore
+// suppression. Analyzers are deliberately small — each one encodes exactly
+// one invariant the hot paths of this repository depend on.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant check.
+type Analyzer struct {
+	// Name is the check name used in findings and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// AppliesTo, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(pass *Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	*Package
+	Fset  *token.FileSet
+	Facts *Facts
+
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check: p.check,
+		Pos:   p.Fset.Position(pos),
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Check string
+	Pos   token.Position
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// Facts is the cross-package annotation table, built from every loaded
+// package's directive comments before any analyzer runs.
+type Facts struct {
+	// ImmutableTypes holds "pkgpath.TypeName" for type declarations
+	// annotated //repro:immutable: values of the type reachable from a
+	// published snapshot must never be written through.
+	ImmutableTypes map[string]bool
+	// ImmutableFuncs holds (*types.Func).FullName() strings for functions
+	// annotated //repro:immutable: their return values are published
+	// snapshots.
+	ImmutableFuncs map[string]bool
+}
+
+const immutableDirective = "//repro:immutable"
+
+// collectFacts scans the loaded packages' declaration comments for
+// //repro:* directives.
+func collectFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		ImmutableTypes: make(map[string]bool),
+		ImmutableFuncs: make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					declHas := hasDirective(d.Doc, immutableDirective)
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if declHas || hasDirective(ts.Doc, immutableDirective) || hasDirective(ts.Comment, immutableDirective) {
+							f.ImmutableTypes[p.Path+"."+ts.Name.Name] = true
+						}
+					}
+				case *ast.FuncDecl:
+					if !hasDirective(d.Doc, immutableDirective) {
+						continue
+					}
+					if obj, ok := p.Info.Defs[d.Name].(*types.Func); ok {
+						f.ImmutableFuncs[obj.FullName()] = true
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	checks []string // check names the directive suppresses
+	valid  bool     // false: missing check name or reason
+	used   bool
+}
+
+// collectIgnores parses every //lint:ignore directive in the loaded files.
+// The returned map is keyed by filename; each file's directives are keyed by
+// the line they apply to (their own line — a trailing comment suppresses its
+// statement — and, for a directive alone on its line, the line below).
+func collectIgnores(fset *token.FileSet, pkgs []*Package) map[string]map[int][]*ignoreDirective {
+	out := make(map[string]map[int][]*ignoreDirective)
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					d := &ignoreDirective{pos: pos}
+					// Valid form: //lint:ignore check1,check2 reason...
+					fields := strings.Fields(rest)
+					if strings.HasPrefix(rest, " ") && len(fields) >= 2 {
+						d.checks = strings.Split(fields[0], ",")
+						d.valid = true
+					}
+					m := out[pos.Filename]
+					if m == nil {
+						m = make(map[int][]*ignoreDirective)
+						out[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (d *ignoreDirective) matches(check string) bool {
+	if !d.valid {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers runs every analyzer over every package, applies suppression,
+// and returns the surviving findings sorted by position. Malformed
+// //lint:ignore directives are themselves findings (check "lint"): a
+// suppression without a stated reason suppresses nothing and documents
+// nothing.
+func runAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	facts := collectFacts(pkgs)
+	ignores := collectIgnores(fset, pkgs)
+
+	var raw []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(p.Path) {
+				continue
+			}
+			pass := &Pass{
+				Package:  p,
+				Fset:     fset,
+				Facts:    facts,
+				check:    a.Name,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+	}
+
+	var out []Finding
+	for _, f := range raw {
+		if d := suppressing(ignores, f); d != nil {
+			d.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, byLine := range ignores {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if !d.valid {
+					out = append(out, Finding{
+						Check: "lint",
+						Pos:   d.pos,
+						Msg:   "malformed //lint:ignore: want \"//lint:ignore <check>[,<check>] <reason>\" — a suppression must name its check and justify itself",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// suppressing returns the directive that suppresses f, or nil. A directive
+// applies to findings on its own line and on the line directly below it (the
+// standalone-comment-above-the-statement form).
+func suppressing(ignores map[string]map[int][]*ignoreDirective, f Finding) *ignoreDirective {
+	byLine := ignores[f.Pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.matches(f.Check) {
+				return d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command reprolint enforces this repository's load-bearing invariants with
+// static analysis: RFC 1982 serial ordering (serialcmp), arena slab pointer
+// discipline (arenaptr), snapshot copy-on-write (snapshotwrite), and no
+// blocking under RTR locks (blockinglock). It is built on go/parser and
+// go/types alone, keeping the module dependency-free.
+//
+// Usage:
+//
+//	reprolint [-tests] [packages]
+//
+// Packages default to ./... relative to the working directory. Findings are
+// printed one per line as file:line:col: [check] message. Exit status is 0
+// when clean, 1 when findings remain, 2 on load or usage errors.
+//
+// A finding is suppressed by a directive on its line or the line above:
+//
+//	//lint:ignore <check>[,<check>] <reason>
+//
+// The reason is mandatory: an unexplained suppression is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var analyzers = []*Analyzer{
+	serialCmpAnalyzer,
+	arenaPtrAnalyzer,
+	snapshotWriteAnalyzer,
+	blockingLockAnalyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("checks", false, "list the registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-tests] [packages]\n\nChecks:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(2)
+	}
+	loader.Tests = *tests
+
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := runAnalyzers(loader.Fset, pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

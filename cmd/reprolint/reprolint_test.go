@@ -1,0 +1,224 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads the named testdata packages (paths relative to
+// testdata/src) with the real loader and runs every analyzer over them.
+func loadTestdata(t *testing.T, names ...string) []Finding {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, len(names))
+	for i, name := range names {
+		dirs[i] = filepath.Join(wd, "testdata", "src", filepath.FromSlash(name))
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runAnalyzers(loader.Fset, pkgs, analyzers)
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// wantsIn scans the named testdata packages' files for // want "substring"
+// comments, keyed by file:line.
+func wantsIn(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[string]string)
+	for _, name := range names {
+		dir := filepath.Join(wd, "testdata", "src", filepath.FromSlash(name))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				if m := wantRE.FindStringSubmatch(line); m != nil {
+					wants[fmt.Sprintf("%s:%d", path, i+1)] = m[1]
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden matches findings against want comments one-to-one by file and
+// line, with substring message matching.
+func checkGolden(t *testing.T, findings []Finding, wants map[string]string) {
+	t.Helper()
+	matched := make(map[string]bool)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		want, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Check+": "+f.Msg, want) {
+			t.Errorf("finding at %s: got [%s] %q, want substring %q", key, f.Check, f.Msg, want)
+			continue
+		}
+		matched[key] = true
+	}
+	for key, want := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding at %s: want %q", key, want)
+		}
+	}
+}
+
+func TestSerialCmpGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "serialcmp"), wantsIn(t, "serialcmp"))
+}
+
+func TestArenaPtrGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "arenaptr"), wantsIn(t, "arenaptr"))
+}
+
+func TestSnapshotWriteGolden(t *testing.T) {
+	names := []string{"snapshotwrite/types", "snapshotwrite/writer"}
+	checkGolden(t, loadTestdata(t, names...), wantsIn(t, names...))
+}
+
+func TestBlockingLockGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "blockinglock"), wantsIn(t, "blockinglock"))
+}
+
+// lineOf returns the 1-based line of the first line of file whose trimmed
+// text equals want.
+func lineOf(t *testing.T, file, want string) int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == want {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: no line %q", file, want)
+	return 0
+}
+
+// TestSuppression exercises //lint:ignore end to end: a correct directive
+// (above or trailing) suppresses its finding, a directive naming the wrong
+// check suppresses nothing, and a directive without a reason is malformed —
+// the finding survives and the directive is reported itself. Expectations
+// are content-anchored because a // want comment appended to a //lint:ignore
+// line would parse as the directive's reason.
+func TestSuppression(t *testing.T) {
+	findings := loadTestdata(t, "suppress")
+	wd, _ := os.Getwd()
+	file := filepath.Join(wd, "testdata", "src", "suppress", "suppress.go")
+
+	byLine := make(map[int][]Finding)
+	for _, f := range findings {
+		if f.Pos.Filename != file {
+			t.Errorf("finding outside suppress.go: %s", f)
+			continue
+		}
+		byLine[f.Pos.Line] = append(byLine[f.Pos.Line], f)
+	}
+
+	expectNone := func(stmt string) {
+		t.Helper()
+		if line := lineOf(t, file, stmt); len(byLine[line]) > 0 {
+			t.Errorf("line %d (%q): finding not suppressed: %v", line, stmt, byLine[line])
+		}
+	}
+	expectOne := func(stmt, check string) {
+		t.Helper()
+		line := lineOf(t, file, stmt)
+		fs := byLine[line]
+		if len(fs) != 1 || fs[0].Check != check {
+			t.Errorf("line %d (%q): want one [%s] finding, got %v", line, stmt, check, fs)
+		}
+	}
+
+	expectNone("return aOK < bOK")
+	expectNone("return cOK < dOK //lint:ignore serialcmp testdata: trailing form")
+	expectOne("return aWrong < bWrong", "serialcmp")
+	expectOne("return aBare < bBare", "serialcmp")
+	expectOne("//lint:ignore serialcmp", "lint")
+
+	if want := 3; len(findings) != want {
+		t.Errorf("got %d findings, want %d: %v", len(findings), want, findings)
+	}
+}
+
+// TestRepoClean is the lint gate's own regression test: the repository must
+// stay free of unsuppressed findings.
+func TestRepoClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range runAnalyzers(loader.Fset, pkgs, analyzers) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// TestFactsCollected guards the annotation plumbing: the rov snapshot types
+// and constructors must be visible in the facts table when the module is
+// loaded, otherwise snapshotwrite silently checks nothing.
+func TestFactsCollected(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := collectFacts(pkgs)
+	if !facts.ImmutableTypes["repro/internal/rov.Index"] {
+		t.Errorf("rov.Index not in ImmutableTypes: %v", facts.ImmutableTypes)
+	}
+	for _, fn := range []string{
+		"repro/internal/rov.NewIndex",
+		"(*repro/internal/rov.LiveIndex).Snapshot",
+	} {
+		if !facts.ImmutableFuncs[fn] {
+			t.Errorf("%s not in ImmutableFuncs: %v", fn, facts.ImmutableFuncs)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package arenaptr is reprolint testdata: true positives and true negatives
+// for the arenaptr check.
+package arenaptr
+
+import "repro/internal/core"
+
+var pool = core.NewSlabPool[int](4, 1<<20)
+
+type holder struct {
+	ptr *core.Node[int]
+}
+
+var sink *core.Node[int]
+
+// True positives: slab pointers that escape or span a growth call.
+
+func escapeReturn(e *core.Engine[int]) *core.Node[int] {
+	return &e.Nodes[0] // want "escapes via return"
+}
+
+func escapeField(e *core.Engine[int], h *holder) {
+	h.ptr = &e.Nodes[0] // want "escapes into field ptr"
+}
+
+func escapePackageVar(e *core.Engine[int]) {
+	sink = &e.Nodes[0] // want "escapes into package-level variable sink"
+}
+
+func escapeCallArg(e *core.Engine[int]) {
+	consume(&e.Nodes[0]) // want "passed to a call"
+}
+
+func escapeComposite(e *core.Engine[int]) holder {
+	return holder{ptr: &e.Nodes[0]} // want "stored in a composite literal"
+}
+
+func escapeChannel(e *core.Engine[int], ch chan *core.Node[int]) {
+	ch <- &e.Nodes[0] // want "sent on a channel"
+}
+
+func heldAcrossGrowth(e *core.Engine[int]) int {
+	n := &e.Nodes[0] // want "held across a slab-growing call"
+	e.Alloc(7)
+	return n.Val
+}
+
+func capturedByClosure(e *core.Engine[int]) func() int {
+	n := &e.Nodes[0]
+	return func() int {
+		return n.Val // want "captured by a closure"
+	}
+}
+
+func heldAcrossLoopGrowth(e *core.Engine[int], vals []int) {
+	n := &e.Nodes[0] // want "held across a slab-growing call"
+	for _, v := range vals {
+		n.Val += v
+		e.Alloc(v)
+	}
+}
+
+// True negatives: the sanctioned idioms.
+
+// growThenAddress is the canonical pattern: grow first, address the result,
+// use it before anything else can grow.
+func growThenAddress(e *core.Engine[int]) {
+	n := &e.Nodes[e.Alloc(3)]
+	n.Val = 9
+}
+
+func shortLived(e *core.Engine[int]) int {
+	n := &e.Nodes[0]
+	n.Val++
+	return n.Val
+}
+
+// indexSurvivesGrowth holds the int32 index — not a pointer — across growth.
+func indexSurvivesGrowth(e *core.Engine[int]) int {
+	i := e.Alloc(1)
+	e.Alloc(2)
+	return e.Nodes[i].Val
+}
+
+// growthBeforeBinding: the growth precedes the pointer's creation entirely.
+func growthBeforeBinding(e *core.Engine[int]) int {
+	e.Alloc(5)
+	n := &e.Nodes[0]
+	return n.Val
+}
+
+func consume(n *core.Node[int]) { _ = n }

@@ -1,0 +1,93 @@
+// Package blockinglock is reprolint testdata: true positives and true
+// negatives for the blockinglock check.
+package blockinglock
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+	n  int
+}
+
+// True positives: blocking while a lock is held.
+
+func (s *server) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) sendUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+}
+
+func (s *server) receiveUnderLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want "channel receive while s.rw is held"
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want "blocking call time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) waitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want "blocking call WaitGroup.Wait while s.mu is held"
+}
+
+func (s *server) selectUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default while s.mu is held"
+	case s.ch <- 1:
+	case <-done:
+	}
+}
+
+// True negatives: blocking after release, non-blocking selects, and work
+// handed to other goroutines.
+
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}
+
+func (s *server) nonBlockingSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *server) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+func (s *server) branchReleases() {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.n--
+	}
+	s.mu.Unlock()
+	<-s.ch
+}

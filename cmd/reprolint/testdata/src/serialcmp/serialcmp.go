@@ -1,0 +1,45 @@
+// Package serialcmp is reprolint testdata: true positives and true
+// negatives for the serialcmp check.
+package serialcmp
+
+import "repro/internal/rtr"
+
+// True positives: raw ordering and subtraction on rtr.Serial.
+
+func rawLess(a, b rtr.Serial) bool {
+	return a < b // want "raw ordering comparison"
+}
+
+func rawGreaterEq(a, b rtr.Serial) bool {
+	return a >= b // want "raw ordering comparison"
+}
+
+func rawSub(a, b rtr.Serial) rtr.Serial {
+	return a - b // want "raw subtraction"
+}
+
+func mixedOperand(a rtr.Serial, n uint32) bool {
+	return a > rtr.Serial(n) // want "raw ordering comparison"
+}
+
+// True negatives: equality, explicit uint32 escape hatch, and the sanctioned
+// helpers.
+
+func equality(a, b rtr.Serial) bool {
+	return a == b && a != b+1
+}
+
+func explicitConversion(a, b rtr.Serial) uint32 {
+	if uint32(a) < uint32(b) {
+		return uint32(b) - uint32(a)
+	}
+	return 0
+}
+
+func sanctioned(a, b rtr.Serial) bool {
+	return rtr.SerialLess(a, b) || rtr.SerialNewer(a, b)
+}
+
+func unrelatedInts(x, y uint32) bool {
+	return x < y && x-y > 0
+}

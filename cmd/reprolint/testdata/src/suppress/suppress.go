@@ -1,0 +1,32 @@
+// Package suppress is reprolint testdata for the //lint:ignore mechanism.
+// Expectations live in reprolint_test.go (content-anchored, not // want
+// comments: a want comment appended to a //lint:ignore line would become
+// the directive's reason and change what is being tested).
+package suppress
+
+import "repro/internal/rtr"
+
+// suppressedAbove: a correct directive on the line above the finding.
+func suppressedAbove(aOK, bOK rtr.Serial) bool {
+	//lint:ignore serialcmp testdata: exercising the suppression mechanism
+	return aOK < bOK
+}
+
+// suppressedSameLine: a correct trailing directive on the finding's line.
+func suppressedSameLine(cOK, dOK rtr.Serial) bool {
+	return cOK < dOK //lint:ignore serialcmp testdata: trailing form
+}
+
+// wrongCheck: the directive names a different check, so the serialcmp
+// finding must survive.
+func wrongCheck(aWrong, bWrong rtr.Serial) bool {
+	//lint:ignore arenaptr testdata: names the wrong check on purpose
+	return aWrong < bWrong
+}
+
+// missingReason: a directive with no reason is malformed — it suppresses
+// nothing (the finding survives) and is itself reported.
+func missingReason(aBare, bBare rtr.Serial) bool {
+	//lint:ignore serialcmp
+	return aBare < bBare
+}

@@ -57,9 +57,9 @@ func main() {
 	srv := rtr.NewServer(set)
 	srv.Logf = log.Printf
 	if *session >= 0 {
-		srv.SetSession(uint16(*session), uint32(*serial))
+		srv.SetSession(uint16(*session), rtr.Serial(*serial))
 	} else {
-		srv.SetSession(uint16(rand.Uint32()), uint32(*serial))
+		srv.SetSession(uint16(rand.Uint32()), rtr.Serial(*serial))
 	}
 	log.Printf("rtrcache: serving %d PDUs on %s (serial %d, session %#x)",
 		set.Len(), *listen, srv.Serial(), srv.SessionID())

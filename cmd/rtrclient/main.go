@@ -86,8 +86,8 @@ func main() {
 		withdrawn.Add(int64(len(wd)))
 	})
 	sup.OnReset(live.ResetTo)
-	updates := make(chan uint32, 64)
-	sup.OnUpdate = func(serial uint32) {
+	updates := make(chan rtr.Serial, 64)
+	sup.OnUpdate = func(serial rtr.Serial) {
 		// Never block the supervisor: dropping an update only skips a log
 		// line — the table and index are already current.
 		select {
@@ -102,7 +102,7 @@ func main() {
 	// First successful sync: print the table. The LiveIndex is the source —
 	// the client generation that produced the sync may already be gone (the
 	// supervisor could be mid-redial), but the index carries the table.
-	var serial uint32
+	var serial rtr.Serial
 	select {
 	case serial = <-updates:
 	case err := <-runErr:

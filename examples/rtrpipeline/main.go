@@ -73,8 +73,8 @@ func main() {
 		live.Apply(announced, withdrawn)
 	})
 	sup.OnReset(live.ResetTo)
-	updates := make(chan uint32, 16)
-	sup.OnUpdate = func(serial uint32) {
+	updates := make(chan rtr.Serial, 16)
+	sup.OnUpdate = func(serial rtr.Serial) {
 		select {
 		case updates <- serial:
 		default:

@@ -41,6 +41,13 @@ type famIndex struct {
 // Index answers RFC 6811 queries in O(route prefix length). Build one with
 // NewIndex; an Index is immutable and safe for concurrent readers. For a
 // table that changes in place (RTR deltas), see LiveIndex.
+//
+// Published indexes are never written through: lock-free readers hold them
+// with no synchronization, so every update path-copies into fresh cells and
+// republishes (see LiveIndex.Apply). reprolint's snapshotwrite check
+// enforces this outside the sanctioned construction paths in this package.
+//
+//repro:immutable
 type Index struct {
 	fams    [2]famIndex // famSlot order: IPv4, IPv6
 	entries []entry     // shared value slab, addressed by node spans
@@ -63,7 +70,10 @@ func slotFamily(slot int) prefix.Family {
 	return prefix.IPv6
 }
 
-// NewIndex builds a validation index over the set's VRPs.
+// NewIndex builds a validation index over the set's VRPs. The returned
+// index is published: treat it as frozen from this point on.
+//
+//repro:immutable
 func NewIndex(s *rpki.Set) *Index {
 	return newIndexFromVRPs(s.VRPs())
 }

@@ -73,6 +73,8 @@ func NewLiveIndex(s *rpki.Set) *LiveIndex {
 // Snapshot returns the current immutable index. The snapshot stays valid —
 // and keeps answering with its table version — for as long as the caller
 // holds it, regardless of later Apply calls.
+//
+//repro:immutable
 func (l *LiveIndex) Snapshot() *Index { return l.snap.Load() }
 
 // Len returns the number of VRPs in the current table.

@@ -46,7 +46,7 @@ type Client struct {
 
 	mu        sync.Mutex
 	sessionID uint16
-	serial    uint32
+	serial    Serial
 	haveState bool
 	vrps      map[rpki.VRP]struct{}
 	// refresh/retry/expire hold the timers from the most recent version-1
@@ -63,7 +63,7 @@ type Client struct {
 	// err is the sticky failure recorded when the dispatch loop dies.
 	err error
 
-	notifyCh chan uint32
+	notifyCh chan Serial
 	done     chan struct{}
 }
 
@@ -106,7 +106,7 @@ func (r *request) finish(err error) {
 type SessionState struct {
 	// SessionID and Serial identify the last completed sync.
 	SessionID uint16
-	Serial    uint32
+	Serial    Serial
 	// VRPs is the synchronized table at Serial. A resumed client seeds its
 	// local table from it, so incremental updates — and the delta of a full
 	// Reset fallback — stay relative to the pre-disconnect table.
@@ -145,7 +145,7 @@ func NewClientResume(nc net.Conn, st *SessionState) *Client {
 		Version:  Version1,
 		conn:     nc,
 		vrps:     make(map[rpki.VRP]struct{}),
-		notifyCh: make(chan uint32, 1),
+		notifyCh: make(chan Serial, 1),
 		done:     make(chan struct{}),
 	}
 	if st != nil {
@@ -198,7 +198,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // than the consumer drains them, a pending serial is replaced by the newer
 // one (the cache's serials are cumulative, so only the latest matters). The
 // channel is never closed — select on Done to observe connection death.
-func (c *Client) Notify() <-chan uint32 { return c.notifyCh }
+func (c *Client) Notify() <-chan Serial { return c.notifyCh }
 
 // Done returns a channel that is closed when the dispatch loop has exited —
 // after a read error, an idle-state protocol violation, or Close. Err
@@ -253,7 +253,7 @@ func (c *Client) Timers() (refresh, retry, expire time.Duration, ok bool) {
 }
 
 // Serial returns the serial of the last completed sync.
-func (c *Client) Serial() uint32 {
+func (c *Client) Serial() Serial {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.serial
@@ -304,7 +304,7 @@ func (c *Client) Reset() error {
 // Sync brings the client up to date: an incremental Serial Query when state
 // exists, falling back to a full Reset on Cache Reset. It returns the serial
 // synchronized to. Concurrent Sync/Reset callers are serialized.
-func (c *Client) Sync() (uint32, error) {
+func (c *Client) Sync() (Serial, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	c.mu.Lock()
@@ -334,7 +334,7 @@ func (c *Client) Sync() (uint32, error) {
 // returns the sticky error when the connection dies first. Because the
 // notify channel coalesces, N cache updates wake WaitNotify at least once,
 // not necessarily N times; the returned serial is the newest one pending.
-func (c *Client) WaitNotify() (uint32, error) {
+func (c *Client) WaitNotify() (Serial, error) {
 	select {
 	case s := <-c.notifyCh:
 		return s, nil
@@ -566,7 +566,7 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 // already pending, the newer serial displaces it. Only the dispatch
 // goroutine sends on notifyCh, so after draining the pending value the send
 // cannot race another producer.
-func (c *Client) pushNotify(serial uint32) {
+func (c *Client) pushNotify(serial Serial) {
 	for {
 		select {
 		case c.notifyCh <- serial:
@@ -583,7 +583,7 @@ func (c *Client) pushNotify(serial uint32) {
 // dropStaleNotify clears a pending notify at or behind the serial just
 // synchronized: it is no longer news. One that is genuinely newer (RFC 1982
 // comparison — serials wrap) is put back. Runs on the dispatch goroutine.
-func (c *Client) dropStaleNotify(serial uint32) {
+func (c *Client) dropStaleNotify(serial Serial) {
 	select {
 	case s := <-c.notifyCh:
 		if SerialNewer(s, serial) {

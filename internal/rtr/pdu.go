@@ -81,13 +81,13 @@ type PDU interface {
 // SerialNotify tells routers new data is available at Serial.
 type SerialNotify struct {
 	SessionID uint16
-	Serial    uint32
+	Serial    Serial
 }
 
 // SerialQuery asks the cache for changes since Serial.
 type SerialQuery struct {
 	SessionID uint16
-	Serial    uint32
+	Serial    Serial
 }
 
 // ResetQuery asks the cache for the complete data set.
@@ -109,7 +109,7 @@ type Prefix struct {
 // only in version 1 and are ignored when marshalling version 0.
 type EndOfData struct {
 	SessionID uint16
-	Serial    uint32
+	Serial    Serial
 	Refresh   uint32
 	Retry     uint32
 	Expire    uint32
@@ -168,7 +168,7 @@ func writeHeader(buf []byte, version, pduType byte, sessionOrZero uint16, length
 func (p *SerialNotify) write(w io.Writer, version byte) error {
 	var buf [12]byte
 	writeHeader(buf[:], version, TypeSerialNotify, p.SessionID, 12)
-	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Serial))
 	_, err := w.Write(buf[:])
 	return err
 }
@@ -176,7 +176,7 @@ func (p *SerialNotify) write(w io.Writer, version byte) error {
 func (p *SerialQuery) write(w io.Writer, version byte) error {
 	var buf [12]byte
 	writeHeader(buf[:], version, TypeSerialQuery, p.SessionID, 12)
-	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Serial))
 	_, err := w.Write(buf[:])
 	return err
 }
@@ -225,13 +225,13 @@ func (p *EndOfData) write(w io.Writer, version byte) error {
 	if version == Version0 {
 		var buf [12]byte
 		writeHeader(buf[:], version, TypeEndOfData, p.SessionID, 12)
-		binary.BigEndian.PutUint32(buf[8:], p.Serial)
+		binary.BigEndian.PutUint32(buf[8:], uint32(p.Serial))
 		_, err := w.Write(buf[:])
 		return err
 	}
 	var buf [24]byte
 	writeHeader(buf[:], version, TypeEndOfData, p.SessionID, 24)
-	binary.BigEndian.PutUint32(buf[8:], p.Serial)
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Serial))
 	binary.BigEndian.PutUint32(buf[12:], p.Refresh)
 	binary.BigEndian.PutUint32(buf[16:], p.Retry)
 	binary.BigEndian.PutUint32(buf[20:], p.Expire)
@@ -340,12 +340,12 @@ func ReadPDU(r io.Reader) (PDU, byte, error) {
 		if err := need(4); err != nil {
 			return nil, version, err
 		}
-		return &SerialNotify{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+		return &SerialNotify{SessionID: sess, Serial: Serial(binary.BigEndian.Uint32(body))}, version, nil
 	case TypeSerialQuery:
 		if err := need(4); err != nil {
 			return nil, version, err
 		}
-		return &SerialQuery{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+		return &SerialQuery{SessionID: sess, Serial: Serial(binary.BigEndian.Uint32(body))}, version, nil
 	case TypeResetQuery:
 		if err := need(0); err != nil {
 			return nil, version, err
@@ -371,14 +371,14 @@ func ReadPDU(r io.Reader) (PDU, byte, error) {
 			if err := need(4); err != nil {
 				return nil, version, err
 			}
-			return &EndOfData{SessionID: sess, Serial: binary.BigEndian.Uint32(body)}, version, nil
+			return &EndOfData{SessionID: sess, Serial: Serial(binary.BigEndian.Uint32(body))}, version, nil
 		}
 		if err := need(16); err != nil {
 			return nil, version, err
 		}
 		return &EndOfData{
 			SessionID: sess,
-			Serial:    binary.BigEndian.Uint32(body),
+			Serial:    Serial(binary.BigEndian.Uint32(body)),
 			Refresh:   binary.BigEndian.Uint32(body[4:]),
 			Retry:     binary.BigEndian.Uint32(body[8:]),
 			Expire:    binary.BigEndian.Uint32(body[12:]),

@@ -21,7 +21,7 @@ type Poller struct {
 	Client *Client
 	// OnUpdate, when set, is invoked after every successful sync with the
 	// new serial. Called on the poller goroutine.
-	OnUpdate func(serial uint32)
+	OnUpdate func(serial Serial)
 	// Refresh/Retry/Expire are fallbacks until the cache advertises its own.
 	// They are overwritten by adopted End of Data values; read them only
 	// before Run or after Stop.

@@ -76,8 +76,8 @@ func TestPollerRefreshAndRetryFakeClock(t *testing.T) {
 	p := NewPoller(c)
 	p.nowFn = fc.Now
 	p.afterFn = fc.After
-	updates := make(chan uint32, 8)
-	p.OnUpdate = func(s uint32) { updates <- s }
+	updates := make(chan Serial, 8)
+	p.OnUpdate = func(s Serial) { updates <- s }
 
 	const session = 0x1234
 	srvErr := make(chan error, 1)
@@ -199,14 +199,14 @@ func TestSplitNotifyAcrossRefreshBoundary(t *testing.T) {
 	p := NewPoller(c)
 	p.nowFn = fc.Now
 	p.afterFn = fc.After
-	updates := make(chan uint32, 8)
-	p.OnUpdate = func(s uint32) { updates <- s }
+	updates := make(chan Serial, 8)
+	p.OnUpdate = func(s Serial) { updates <- s }
 
 	const session = 0x7a11
 	runErr := make(chan error, 1)
 	go func() { runErr <- p.Run() }()
 
-	expectQuery := func(wantSerial uint32) {
+	expectQuery := func(wantSerial Serial) {
 		t.Helper()
 		pdu, _, err := ReadPDU(srvConn)
 		if err != nil {
@@ -217,7 +217,7 @@ func TestSplitNotifyAcrossRefreshBoundary(t *testing.T) {
 			t.Fatalf("got %T %+v, want Serial Query for %d", pdu, pdu, wantSerial)
 		}
 	}
-	answer := func(serial uint32) {
+	answer := func(serial Serial) {
 		t.Helper()
 		if err := WritePDU(srvConn, Version1, &CacheResponse{SessionID: session}); err != nil {
 			t.Fatal(err)
@@ -318,7 +318,7 @@ func TestPollerNotifyVsRefreshRace(t *testing.T) {
 	p.nowFn = fc.Now
 	p.afterFn = fc.After
 	var updates atomic.Int32
-	p.OnUpdate = func(uint32) { updates.Add(1) }
+	p.OnUpdate = func(Serial) { updates.Add(1) }
 	runErr := make(chan error, 1)
 	go func() { runErr <- p.Run() }()
 
@@ -359,8 +359,8 @@ func TestPollerConnFailureWhileIdle(t *testing.T) {
 	p := NewPoller(c)
 	p.nowFn = fc.Now
 	p.afterFn = fc.After
-	updates := make(chan uint32, 8)
-	p.OnUpdate = func(s uint32) { updates <- s }
+	updates := make(chan Serial, 8)
+	p.OnUpdate = func(s Serial) { updates <- s }
 
 	const session = 0x1dfe
 	runErr := make(chan error, 1)

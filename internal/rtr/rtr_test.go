@@ -274,7 +274,7 @@ func TestServerReportsUnsupportedVersion(t *testing.T) {
 
 // serialQueryResponse dials the server, issues one Serial Query, and returns
 // every PDU up to and including the Cache Reset or End of Data terminator.
-func serialQueryResponse(t *testing.T, addr string, session uint16, serial uint32) []PDU {
+func serialQueryResponse(t *testing.T, addr string, session uint16, serial Serial) []PDU {
 	t.Helper()
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {

@@ -6,23 +6,33 @@ package rtr
 // eventually wrap, and clients comparing "is the notify newer than my
 // state?" must not break when it does.
 
+// Serial is an RTR serial number: a point on the RFC 1982 ring, not an
+// integer. Ordering is only defined modulo the ring, so raw `<`/`>`
+// comparisons and raw subtraction on Serial values are wrong the moment a
+// long-lived cache wraps past 2^32 — all ordering must go through
+// SerialLess/SerialNewer. The reprolint serialcmp analyzer enforces this
+// mechanically; code that genuinely needs wrapping integer arithmetic
+// converts through uint32 explicitly (as the wire codec does) or carries a
+// `//lint:ignore serialcmp <reason>` justification.
+type Serial uint32
+
 // SerialLess reports whether serial a precedes b on the RFC 1982 ring.
 // Antipodal pairs (distance exactly 2^31) are incomparable; SerialLess
 // returns false for both orders, as the RFC prescribes.
-func SerialLess(a, b uint32) bool {
+func SerialLess(a, b Serial) bool {
 	if a == b {
 		return false
 	}
-	d := b - a // wrapping subtraction
+	d := uint32(b) - uint32(a) // wrapping subtraction, deliberately on uint32
 	return d != 0 && d < 1<<31
 }
 
 // SerialNewer reports whether candidate is strictly newer than current,
 // treating an antipodal candidate as NOT newer (forcing a reset instead of
 // guessing).
-func SerialNewer(candidate, current uint32) bool {
+func SerialNewer(candidate, current Serial) bool {
 	return SerialLess(current, candidate)
 }
 
 // SerialAdvance returns the serial n steps after s on the ring.
-func SerialAdvance(s uint32, n uint32) uint32 { return s + n }
+func SerialAdvance(s Serial, n uint32) Serial { return s + Serial(n) }

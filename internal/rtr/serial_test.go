@@ -11,7 +11,7 @@ import (
 
 func TestSerialLess(t *testing.T) {
 	cases := []struct {
-		a, b uint32
+		a, b Serial
 		want bool
 	}{
 		{0, 1, true},
@@ -33,12 +33,12 @@ func TestSerialLess(t *testing.T) {
 
 func TestSerialProperties(t *testing.T) {
 	// Irreflexive and antisymmetric (except antipodes, where both false).
-	f := func(a, b uint32) bool {
+	f := func(a, b Serial) bool {
 		l1, l2 := SerialLess(a, b), SerialLess(b, a)
 		if a == b {
 			return !l1 && !l2
 		}
-		if b-a == 1<<31 {
+		if uint32(b)-uint32(a) == 1<<31 {
 			return !l1 && !l2
 		}
 		return l1 != l2
@@ -47,7 +47,7 @@ func TestSerialProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Advancing by a small n always moves forward.
-	g := func(s uint32, n8 uint8) bool {
+	g := func(s Serial, n8 uint8) bool {
 		n := uint32(n8)
 		if n == 0 {
 			return SerialAdvance(s, 0) == s
@@ -71,7 +71,7 @@ func TestPollerLifecycle(t *testing.T) {
 	}
 	var updates atomic.Int32
 	p := NewPoller(c)
-	p.OnUpdate = func(uint32) { updates.Add(1) }
+	p.OnUpdate = func(Serial) { updates.Add(1) }
 	errCh := make(chan error, 1)
 	go func() { errCh <- p.Run() }()
 

@@ -25,9 +25,9 @@ type Server struct {
 
 	mu        sync.Mutex
 	sessionID uint16
-	serial    uint32
+	serial    Serial
 	current   *rpki.Set
-	deltas    map[uint32][]Prefix // delta that moved serial s-1 -> s
+	deltas    map[Serial][]Prefix // delta that moved serial s-1 -> s
 	conns     map[*conn]struct{}
 	listener  net.Listener
 	closed    bool
@@ -44,6 +44,10 @@ func (c *conn) send(version byte, pdus ...PDU) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, p := range pdus {
+		// c.mu is per-connection, so one slow router only stalls its own
+		// handler/notify pair, not the whole cache; decoupling notify fan-out
+		// from the write path is tracked as ROADMAP item 2.
+		//lint:ignore blockinglock per-connection write lock; fan-out decoupling tracked in ROADMAP item 2
 		if err := WritePDU(c.c, version, p); err != nil {
 			return err
 		}
@@ -64,13 +68,13 @@ func NewServer(initial *rpki.Set) *Server {
 		sessionID:  0x5eed,
 		serial:     1,
 		current:    initial,
-		deltas:     make(map[uint32][]Prefix),
+		deltas:     make(map[Serial][]Prefix),
 		conns:      make(map[*conn]struct{}),
 	}
 }
 
 // Serial returns the current serial number.
-func (s *Server) Serial() uint32 {
+func (s *Server) Serial() Serial {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.serial
@@ -88,7 +92,7 @@ func (s *Server) SessionID() uint16 {
 // its previous session so routers resume their incremental stream with a
 // Serial Query; a cache restarted fresh picks a new session ID, which (per
 // RFC 8210 §5.5) forces routers through Cache Reset and a full resync.
-func (s *Server) SetSession(id uint16, serial uint32) {
+func (s *Server) SetSession(id uint16, serial Serial) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sessionID = id
@@ -102,7 +106,8 @@ func (s *Server) UpdateSet(next *rpki.Set) {
 	delta := diffSets(s.current, next)
 	s.serial++
 	s.deltas[s.serial] = delta
-	delete(s.deltas, s.serial-uint32(s.KeepDeltas)-1)
+	//lint:ignore serialcmp deliberate ring retreat: evict the delta KeepDeltas+1 steps behind the new serial.
+	delete(s.deltas, s.serial-Serial(s.KeepDeltas)-1)
 	s.current = next
 	serial, session := s.serial, s.sessionID
 	conns := make([]*conn, 0, len(s.conns))
@@ -323,7 +328,7 @@ func (s *Server) answerSerialQuery(c *conn, version byte, q *SerialQuery) error 
 	return c.send(version, pdus...)
 }
 
-func (s *Server) endOfData(session uint16, serial uint32) *EndOfData {
+func (s *Server) endOfData(session uint16, serial Serial) *EndOfData {
 	return &EndOfData{
 		SessionID: session,
 		Serial:    serial,

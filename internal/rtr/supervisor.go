@@ -38,7 +38,7 @@ type Supervisor struct {
 	Version byte
 	// OnUpdate, when set, is invoked after every successful sync with the
 	// new serial, on the supervisor goroutine.
-	OnUpdate func(serial uint32)
+	OnUpdate func(serial Serial)
 	// Refresh/Retry/Expire are fallback timers until the cache advertises
 	// its own in a version-1 End of Data; adopted values are carried across
 	// generations. Read or set them only before Run or after Stop.
@@ -395,7 +395,7 @@ func (g *generation) relay(announced, withdrawn []rpki.VRP) {
 // onUpdate runs after every successful sync. The first one classifies how
 // the generation rejoined the cache (serial resume, reset fallback, or
 // subscriber reset) before the common bookkeeping.
-func (g *generation) onUpdate(serial uint32) {
+func (g *generation) onUpdate(serial Serial) {
 	if !g.syncedAny {
 		if g.discontinuity {
 			// Deliver the reset before marking the sync done so a
@@ -478,7 +478,7 @@ func (s *Supervisor) adoptTimers(c *Client) {
 }
 
 // noteSync advances the Expire clock shared across generations.
-func (s *Supervisor) noteSync(serial uint32) {
+func (s *Supervisor) noteSync(serial Serial) {
 	now := s.timeNow()
 	s.mu.Lock()
 	s.lastSync = now

@@ -88,7 +88,7 @@ type supervisorHarness struct {
 	conns   chan net.Conn
 	deltas  chan delta
 	resets  chan []rpki.VRP
-	updates chan uint32
+	updates chan Serial
 	runErr  chan error
 }
 
@@ -99,7 +99,7 @@ func newSupervisorHarness(t *testing.T) *supervisorHarness {
 		conns:   make(chan net.Conn, 4),
 		deltas:  make(chan delta, 16),
 		resets:  make(chan []rpki.VRP, 4),
-		updates: make(chan uint32, 16),
+		updates: make(chan Serial, 16),
 		runErr:  make(chan error, 1),
 	}
 	h.sup = NewSupervisor(func() (net.Conn, error) {
@@ -115,7 +115,7 @@ func newSupervisorHarness(t *testing.T) *supervisorHarness {
 	h.sup.nowFn = h.fc.Now
 	h.sup.afterFn = h.fc.After
 	h.sup.jitterFn = func() float64 { return 0 }
-	h.sup.OnUpdate = func(serial uint32) { h.updates <- serial }
+	h.sup.OnUpdate = func(serial Serial) { h.updates <- serial }
 	h.sup.Subscribe(func(ann, wd []rpki.VRP) {
 		h.deltas <- delta{ann: append([]rpki.VRP(nil), ann...), wd: append([]rpki.VRP(nil), wd...)}
 	})
@@ -135,7 +135,7 @@ func (h *supervisorHarness) stop(t *testing.T) {
 	}
 }
 
-func (h *supervisorHarness) wantUpdate(t *testing.T, serial uint32) {
+func (h *supervisorHarness) wantUpdate(t *testing.T, serial Serial) {
 	t.Helper()
 	select {
 	case s := <-h.updates:
@@ -189,7 +189,7 @@ func (h *supervisorHarness) fireTimer(t *testing.T, d time.Duration) {
 }
 
 // answerFull serves a Reset Query response: Cache Response, the table, EOD.
-func answerFull(conn net.Conn, session uint16, serial uint32, table []rpki.VRP) error {
+func answerFull(conn net.Conn, session uint16, serial Serial, table []rpki.VRP) error {
 	if err := WritePDU(conn, Version1, &CacheResponse{SessionID: session}); err != nil {
 		return err
 	}
