@@ -369,7 +369,13 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	full := core.FullDeploymentMinimal(d.Table)
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			// One untimed warm-up fills the slab pools, so B/op reports the
+			// steady state: with b.N of 2-3 at this scale, the cold-start
+			// slab allocations otherwise swing the figure by whole size
+			// classes between runs.
+			core.Compress(full, core.Options{Parallelism: par})
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.Compress(full, core.Options{Parallelism: par})
 			}

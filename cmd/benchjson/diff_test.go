@@ -20,7 +20,7 @@ func TestDiffResults(t *testing.T) {
 		{Package: "repro/internal/rov", Name: "BenchmarkValidate", NsPerOp: fp(40), AllocsPerOp: fp(0)},
 		{Package: "repro/internal/core", Name: "BenchmarkFresh", NsPerOp: fp(7)},
 	}
-	rows, worst := diffResults(old, cur)
+	rows, worst := diffResults(old, cur, nil)
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want 4 (2 common + 1 removed + 1 new)", len(rows))
 	}
@@ -62,7 +62,7 @@ func TestDiffResults(t *testing.T) {
 func TestDiffResultsZeroOld(t *testing.T) {
 	old := []result{{Name: "BenchmarkX", NsPerOp: fp(0)}}
 	cur := []result{{Name: "BenchmarkX", NsPerOp: fp(3)}}
-	rows, worst := diffResults(old, cur)
+	rows, worst := diffResults(old, cur, nil)
 	if rows[0].Ns == nil || !math.IsInf(rows[0].Ns.Pct, 1) {
 		t.Fatalf("zero-baseline delta = %+v, want +inf", rows[0].Ns)
 	}
@@ -74,7 +74,7 @@ func TestDiffResultsZeroOld(t *testing.T) {
 func TestDiffResultsNoCommon(t *testing.T) {
 	rows, worst := diffResults(
 		[]result{{Name: "BenchmarkA", NsPerOp: fp(1)}},
-		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}})
+		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}}, nil)
 	if len(rows) != 2 || worst != (worstRegressions{}) {
 		t.Fatalf("rows=%d worst=%+v, want 2 rows and zero worsts", len(rows), worst)
 	}
@@ -121,7 +121,7 @@ func TestGateFailures(t *testing.T) {
 func TestPrintDiffRenders(t *testing.T) {
 	rows, _ := diffResults(
 		[]result{{Name: "BenchmarkA", NsPerOp: fp(100), BytesPerOp: fp(1 << 20), AllocsPerOp: fp(3)}},
-		[]result{{Name: "BenchmarkA", NsPerOp: fp(90), BytesPerOp: fp(1 << 19), AllocsPerOp: fp(3)}})
+		[]result{{Name: "BenchmarkA", NsPerOp: fp(90), BytesPerOp: fp(1 << 19), AllocsPerOp: fp(3)}}, nil)
 	var buf bytes.Buffer
 	printDiff(&buf, "old.json", "new.json", rows)
 	out := buf.String()
@@ -129,5 +129,46 @@ func TestPrintDiffRenders(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestDiffResultsMemNoisy pins the -mem-noisy routing: a matched
+// benchmark's B/op and allocs/op regressions land in worst.NoisyMem (gated
+// at the wall-clock threshold) instead of worst.Bytes/Allocs, while its
+// ns/op and every unmatched benchmark keep the strict gates.
+func TestDiffResultsMemNoisy(t *testing.T) {
+	old := []result{
+		{Package: "repro", Name: "BenchmarkPar/p8", NsPerOp: fp(1000), BytesPerOp: fp(1000), AllocsPerOp: fp(10)},
+		{Package: "repro", Name: "BenchmarkExact", NsPerOp: fp(1000), BytesPerOp: fp(1000), AllocsPerOp: fp(10)},
+	}
+	cur := []result{
+		{Package: "repro", Name: "BenchmarkPar/p8", NsPerOp: fp(1100), BytesPerOp: fp(1300), AllocsPerOp: fp(10)},
+		{Package: "repro", Name: "BenchmarkExact", NsPerOp: fp(1000), BytesPerOp: fp(1050), AllocsPerOp: fp(10)},
+	}
+	matcher, err := memNoisyMatcher("repro.BenchmarkPar/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, worst := diffResults(old, cur, matcher)
+	if worst.NoisyMem != 30 {
+		t.Fatalf("worst.NoisyMem = %v, want 30 (the matched benchmark's B/op)", worst.NoisyMem)
+	}
+	if worst.Bytes != 5 {
+		t.Fatalf("worst.Bytes = %v, want 5 (the unmatched benchmark only)", worst.Bytes)
+	}
+	if worst.Ns != 10 {
+		t.Fatalf("worst.Ns = %v, want 10 (ns/op stays strict for matched benchmarks)", worst.Ns)
+	}
+	// NoisyMem is gated at the ns threshold: 30% passes a 50% wall-clock
+	// gate but would have failed the 10% memory gate.
+	if msgs := gateFailures(worst, 50, -1, 10, 10); len(msgs) != 0 {
+		t.Fatalf("gateFailures = %v, want none (noisy mem inside wall-clock threshold)", msgs)
+	}
+	if msgs := gateFailures(worst, 20, -1, 10, 10); len(msgs) != 1 || !strings.Contains(msgs[0], "mem-noisy") {
+		t.Fatalf("gateFailures = %v, want one mem-noisy failure at a 20%% gate", msgs)
+	}
+	// An invalid pattern is a flag error, not a silent no-match.
+	if _, err := memNoisyMatcher("[bad"); err == nil {
+		t.Fatal("memNoisyMatcher accepted an invalid pattern")
 	}
 }

@@ -23,7 +23,10 @@
 // -threshold-bytes, and -threshold-allocs override the shared threshold for
 // one metric (0 disables that metric's gate): wall-clock numbers need a
 // generous threshold on noisy hardware, while allocation metrics are exact
-// and can be gated tightly.
+// and can be gated tightly. The exception is benchmarks whose allocation
+// profile is itself scheduler-dependent (parallel workers growing
+// worker-local arenas by demand-order doubling): list those with
+// -mem-noisy to gate their memory metrics at the wall-clock threshold.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path"
 	"strconv"
 	"strings"
 )
@@ -58,6 +62,7 @@ func main() {
 	thresholdNs := flag.Float64("threshold-ns", -1, "with -diff: per-metric override of -threshold for ns/op (-1 inherits, 0 disables)")
 	thresholdBytes := flag.Float64("threshold-bytes", -1, "with -diff: per-metric override of -threshold for B/op (-1 inherits, 0 disables)")
 	thresholdAllocs := flag.Float64("threshold-allocs", -1, "with -diff: per-metric override of -threshold for allocs/op (-1 inherits, 0 disables)")
+	memNoisy := flag.String("mem-noisy", "", "with -diff: comma-separated glob patterns of package-qualified benchmarks whose B/op and allocs/op are scheduler-dependent; they are gated at the ns/op threshold instead of the memory one")
 	flag.Parse()
 
 	if *diffMode {
@@ -72,7 +77,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, worst := diffResults(old, cur)
+		matcher, err := memNoisyMatcher(*memNoisy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, worst := diffResults(old, cur, matcher)
 		printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), rows)
 		failures := gateFailures(worst, *threshold, *thresholdNs, *thresholdBytes, *thresholdAllocs)
 		for _, f := range failures {
@@ -162,6 +171,32 @@ func parse(in io.Reader) ([]result, error) {
 		out = append(out, r)
 	}
 	return out, sc.Err()
+}
+
+// memNoisyMatcher compiles the -mem-noisy flag (comma-separated path.Match
+// patterns against the package-qualified benchmark key) into a predicate;
+// an empty flag yields nil (no benchmark is mem-noisy).
+func memNoisyMatcher(flagValue string) (func(key string) bool, error) {
+	var pats []string
+	for _, p := range strings.Split(flagValue, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			if _, err := path.Match(p, "probe"); err != nil {
+				return nil, fmt.Errorf("-mem-noisy pattern %q: %v", p, err)
+			}
+			pats = append(pats, p)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, nil
+	}
+	return func(key string) bool {
+		for _, p := range pats {
+			if ok, _ := path.Match(p, key); ok {
+				return true
+			}
+		}
+		return false
+	}, nil
 }
 
 // trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark names.

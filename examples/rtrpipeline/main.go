@@ -1,15 +1,19 @@
 // Rtrpipeline runs the complete Figure 1 pipeline in one process:
 //
 //	signed ROA repository --scan--> validated VRPs --compress (§7)-->
-//	RTR cache --RPKI-to-Router over TCP--> router client --> origin validation
+//	RTR caches --RPKI-to-Router over TCP--> router client --> origin validation
 //
-// It then updates the repository (simulating an operator hardening a
-// non-minimal ROA) and shows the incremental update reaching the router;
-// finally it kills the cache outright and restarts it with a fresh session
-// ID, showing the reconnect supervisor redialing, falling back through
-// Cache Reset, and converging the router's live index on the post-restart
-// table — the deployment story of a router that stays continuously
-// validated across cache restarts.
+// The router follows a pair of caches — a preferred primary and a backup —
+// through the multi-cache failover supervisor. After the operator hardens a
+// non-minimal ROA (the incremental update reaching the router as a delta),
+// the primary cache is killed outright: the supervisor fails over to the
+// backup, delivering the structural diff between the table the router holds
+// and the backup's view — no rebuild, even though the backup had revalidated
+// in the meantime and its table differs. When the primary returns (a fresh
+// process: new session ID, no retained state), the supervisor fails back to
+// it, again by delta — the deployment story of a router that stays
+// continuously validated across cache deaths, divergent backups, and
+// recoveries.
 package main
 
 import (
@@ -50,89 +54,127 @@ func main() {
 	}
 	fmt.Printf("compress: %d -> %d PDUs (%.1f%% saved)\n", res.In, res.Out, 100*res.SavedFraction())
 
-	// 4. Serve over RPKI-to-Router and sync a router through the reconnect
-	//    supervisor. The router's validation table is a live index fed by
-	//    the protocol's deltas: every sync — the initial full one included —
-	//    flows through a persistent subscriber and applies in O(delta),
-	//    never rebuilding the index. The supervisor re-registers the
-	//    subscriber on every reconnect, so the delta stream survives the
-	//    cache restart in step 7.
-	srv := rtr.NewServer(pdus)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	// 4. Serve the table from two caches and sync a router through the
+	//    multi-cache supervisor. The router's validation table is a live
+	//    index fed by the delta stream: every delivery — initial sync,
+	//    incremental update, failover, fail-back — applies in O(delta),
+	//    never rebuilding the index.
+	primary := rtr.NewServer(pdus)
+	lp, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	addr := l.Addr().String()
-	go srv.Serve(l)
+	primaryAddr := lp.Addr().String()
+	go primary.Serve(lp)
+
+	backup := rtr.NewServer(pdus)
+	backup.SetSession(0xbac1, 1)
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	backupAddr := lb.Addr().String()
+	go backup.Serve(lb)
+	defer backup.Close()
 
 	live := rov.NewLiveIndex(rpki.NewSet(nil))
-	sup := rtr.NewSupervisor(func() (net.Conn, error) { return net.Dial("tcp", addr) })
-	sup.BackoffMin = 5 * time.Millisecond
-	sup.BackoffMax = 100 * time.Millisecond
-	sup.Subscribe(func(announced, withdrawn []rpki.VRP) {
+	m := rtr.NewMultiSupervisor(
+		rtr.Upstream{Name: "primary", Dial: func() (net.Conn, error) { return net.Dial("tcp", primaryAddr) }},
+		rtr.Upstream{Name: "backup", Dial: func() (net.Conn, error) { return net.Dial("tcp", backupAddr) }},
+	)
+	m.BackoffMin = 5 * time.Millisecond
+	m.BackoffMax = 100 * time.Millisecond
+	m.Subscribe(func(announced, withdrawn []rpki.VRP) {
 		live.Apply(announced, withdrawn)
 	})
-	sup.OnReset(live.ResetTo)
+	m.OnReset(live.ResetTo)
 	updates := make(chan rtr.Serial, 16)
-	sup.OnUpdate = func(serial rtr.Serial) {
+	m.OnUpdate = func(serial rtr.Serial) {
 		select {
 		case updates <- serial:
 		default:
 		}
 	}
-	go sup.Run()
-	defer sup.Stop()
+	go m.Run()
+	defer m.Stop()
 
 	serial := <-updates
-	fmt.Printf("router: synchronized %d VRPs at serial %d\n", live.Len(), serial)
+	fmt.Printf("router: synchronized %d VRPs at serial %d from the primary cache\n", live.Len(), serial)
 
 	// 5. The router validates announcements with its synchronized table.
 	hijack := prefix.MustParse("168.122.0.0/24")
 	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (maxLength ROA leaves it Valid!)\n",
 		hijack, live.Validate(hijack, 111))
 
-	// 6. The operator hardens the ROA to a minimal one; the cache pushes an
-	//    incremental update; the router's live index follows the delta.
+	// 6. The operator hardens the ROA to a minimal one; both caches pick up
+	//    the change; the router's live index follows the primary's delta.
 	minimal := rpki.NewSet([]rpki.VRP{
 		{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
 		{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
 		{Prefix: prefix.MustParse("87.254.32.0/19"), MaxLength: 19, AS: 31283},
 	})
-	srv.UpdateSet(minimal)
+	primary.UpdateSet(minimal)
+	backup.UpdateSet(minimal)
 	serial = <-updates
 	fmt.Printf("router: incremental update to serial %d (%d VRPs, index updated in place)\n",
 		serial, live.Len())
 	fmt.Printf("router: forged-origin hijack %v AS111 -> %v (hardened: now Invalid)\n",
 		hijack, live.Validate(hijack, 111))
 
-	// 7. The cache process dies and is restarted fresh — new session ID, no
-	//    retained deltas, and a table the restarted cache revalidated in the
-	//    meantime (the AS 31283 ROA expired). The supervisor redials with
-	//    backoff; its Serial Query for the old session is answered with
-	//    Cache Reset, the client falls back to a Reset Query, and the live
-	//    index converges on the post-restart table by the diff against the
-	//    carried one — no rebuild.
-	srv.Close()
-	restarted := rpki.NewSet([]rpki.VRP{
+	// 7. The backup revalidates on its own schedule and notices the AS 31283
+	//    ROA expired — its table now differs from the primary's. Then the
+	//    primary cache dies. The supervisor fails over to the backup and
+	//    delivers the structural diff between the table the router holds and
+	//    the backup's snapshot: one withdrawal, no rebuild.
+	revalidated := rpki.NewSet([]rpki.VRP{
 		{Prefix: prefix.MustParse("168.122.0.0/16"), MaxLength: 16, AS: 111},
 		{Prefix: prefix.MustParse("168.122.225.0/24"), MaxLength: 24, AS: 111},
 	})
-	srv2 := rtr.NewServer(restarted)
-	srv2.SetSession(0xf4e5, 1)
-	l2, err := relisten(addr)
+	backup.UpdateSet(revalidated)
+	primary.Close()
+	waitUntil(func() bool { return m.Active() == 1 && live.Len() == revalidated.Len() })
+	st := m.Stats()
+	fmt.Printf("router: primary died; failed over to backup by delta (%d VRPs; %d switches, %d rebuilds)\n",
+		live.Len(), st.Switches, st.Rebuilds)
+	expired := prefix.MustParse("87.254.32.0/19")
+	fmt.Printf("router: %v AS31283 -> %v (ROA gone on the backup), hijack still %v\n",
+		expired, live.Validate(expired, 31283), live.Validate(hijack, 111))
+
+	// 8. The primary returns as a fresh process — new session ID, no
+	//    retained deltas, table revalidated to match. The supervisor fails
+	//    back to the preferred cache, delivering the (here empty) diff
+	//    between the backup's table and the restarted primary's — the
+	//    router never rebuilds.
+	primary2 := rtr.NewServer(revalidated)
+	primary2.SetSession(0xf4e5, 1)
+	lp2, err := relisten(primaryAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv2.Serve(l2)
-	defer srv2.Close()
+	go primary2.Serve(lp2)
+	defer primary2.Close()
 
-	serial = <-updates
-	st := sup.Stats()
-	fmt.Printf("router: cache restarted with a new session; recovered at serial %d (%d VRPs; %d dials, %d reset fallbacks, %d rebuilds)\n",
-		serial, live.Len(), st.Dials, st.ResetFallbacks, st.Rebuilds)
-	expired := prefix.MustParse("87.254.32.0/19")
-	fmt.Printf("router: %v AS31283 -> %v (ROA gone after restart), hijack still %v, healthy=%v\n",
-		expired, live.Validate(expired, 31283), live.Validate(hijack, 111), sup.Healthy())
+	waitUntil(func() bool { return m.Active() == 0 })
+	st = m.Stats()
+	fmt.Printf("router: primary restarted with a new session; failed back (%d VRPs; healthy=%v)\n",
+		live.Len(), m.Healthy())
+	for _, u := range st.Upstreams {
+		fmt.Printf("router: cache %s: up=%t active=%t failovers=%d failbacks=%d dials=%d reset-fallbacks=%d rebuilds=%d\n",
+			u.Name, u.Up, u.Active, u.Failovers, u.Failbacks,
+			u.Supervisor.Dials, u.Supervisor.ResetFallbacks, u.Supervisor.Rebuilds)
+	}
+}
+
+// waitUntil polls cond until it holds (or a deadline long past any backoff
+// in this example expires).
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("rtrpipeline: state not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // relisten rebinds the address the killed cache listened on.

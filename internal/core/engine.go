@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/prefix"
 )
@@ -40,6 +41,26 @@ type Engine[V any] struct {
 	// Nodes is the slab. Callers index it directly on hot paths; they must
 	// not reslice or reassign it.
 	Nodes []Node[V]
+	// lineage identifies the Init call this slab grew from (see SharedArena).
+	// It travels with the engine value when a snapshot copies the struct, so
+	// every snapshot of one append-only history carries the same token. The
+	// slab base pointer cannot serve this purpose: append may relocate the
+	// backing array between snapshots without invalidating node indices.
+	lineage uint64
+}
+
+// lineageCounter hands every Init a process-unique arena lineage token.
+// Token 0 is reserved for the zero Engine, which shares with nothing.
+var lineageCounter atomic.Uint64
+
+// SharedArena reports whether e and o grew from the same Init call — one
+// append-only slab history. Combined with the path-copying discipline
+// (published nodes are never written again; updates clone onto the slab
+// tail), it yields the subtree-identity predicate a structural diff needs:
+// for two snapshots of a shared arena, equal node indices refer to
+// byte-identical subtrees, so a walker can skip them without descending.
+func (e *Engine[V]) SharedArena(o *Engine[V]) bool {
+	return e.lineage != 0 && e.lineage == o.lineage
 }
 
 // Init readies the engine with a slab holding at least hint nodes without
@@ -54,6 +75,7 @@ func (e *Engine[V]) Init(hint int, root V, pool *SlabPool[V]) {
 		nodes = make([]Node[V], 0, hint+1)
 	}
 	e.Nodes = append(nodes, Node[V]{Val: root})
+	e.lineage = lineageCounter.Add(1)
 }
 
 // Release returns the slab to pool (dropped when pool is nil or full). The
@@ -144,6 +166,62 @@ func (e *Engine[V]) Walk(root int32, at prefix.Prefix, fn func(idx int32, p pref
 		}
 		if c := n.Children[0]; c != NoChild {
 			stack = append(stack, engineFrame{idx: c, pfx: f.pfx.Child(0)})
+		}
+	}
+}
+
+// dualFrame is one pending subtree pair of a DiffWalk traversal. An index of
+// -1 marks a side on which the subtree is absent.
+type dualFrame struct {
+	a, b int32
+	pfx  prefix.Prefix
+}
+
+// DiffWalk traverses two trees in lockstep, calling fn for every prefix whose
+// node exists in either — except subtree pairs proven identical, which are
+// skipped without descending. aIdx (in ea) and bIdx (in eb) are the two
+// slab indices at that prefix; -1 marks the side where the node is absent.
+// at is the prefix of both roots; visits arrive in canonical prefix order.
+//
+// The skip rule is SharedArena: when both engines carry the same lineage,
+// equal indices mean byte-identical subtrees (path copying never rewrites a
+// published node), so the walk touches only paths cloned between the two
+// snapshots — O(changed · prefix bits), independent of table size. Engines
+// from unrelated arenas share nothing provable and get the correct-but-linear
+// full dual walk.
+func DiffWalk[V any](ea, eb *Engine[V], rootA, rootB int32, at prefix.Prefix, fn func(aIdx, bIdx int32, p prefix.Prefix)) {
+	if rootA < 0 && rootB < 0 {
+		return
+	}
+	shared := ea.SharedArena(eb)
+	if shared && rootA == rootB {
+		return
+	}
+	stack := make([]dualFrame, 1, maxDepth+1)
+	stack[0] = dualFrame{a: rootA, b: rootB, pfx: at}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(f.a, f.b, f.pfx)
+		for bit := 1; bit >= 0; bit-- {
+			ca, cb := int32(-1), int32(-1)
+			if f.a >= 0 {
+				if c := ea.Nodes[f.a].Children[bit]; c != NoChild {
+					ca = c
+				}
+			}
+			if f.b >= 0 {
+				if c := eb.Nodes[f.b].Children[bit]; c != NoChild {
+					cb = c
+				}
+			}
+			if ca < 0 && cb < 0 {
+				continue
+			}
+			if shared && ca == cb {
+				continue // identical subtree on both sides
+			}
+			stack = append(stack, dualFrame{a: ca, b: cb, pfx: f.pfx.Child(uint8(bit))})
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/prefix"
 	"repro/internal/rpki"
@@ -39,19 +40,43 @@ type mtrie struct {
 // fresh slab allocation on every verification run.
 var mtrieSlabs = NewSlabPool[mval](poolMaxSlabs, poolMaxNodeCap)
 
+// mtrieFree recycles the mtrie structs themselves, bounded like the slab
+// pool: the structs are the only remaining per-group garbage once the slabs
+// are pooled, so a repeated verification run stays allocation-steady.
+var mtrieFree = struct {
+	mu   sync.Mutex
+	free []*mtrie
+}{}
+
 // mAbsent is the payload of a node neither side holds a tuple at.
 var mAbsent = mval{valA: -1, valB: -1}
 
 func newMtrie(fam prefix.Family) *mtrie {
-	m := &mtrie{fam: fam}
+	mtrieFree.mu.Lock()
+	var m *mtrie
+	if n := len(mtrieFree.free); n > 0 {
+		m = mtrieFree.free[n-1]
+		mtrieFree.free[n-1] = nil
+		mtrieFree.free = mtrieFree.free[:n-1]
+	}
+	mtrieFree.mu.Unlock()
+	if m == nil {
+		m = &mtrie{}
+	}
+	m.fam = fam
 	m.eng.Init(0, mAbsent, mtrieSlabs)
 	return m
 }
 
-// release returns the mtrie's slab to the pool; the mtrie must not be used
-// afterwards.
+// release returns the mtrie's slab to the slab pool and the struct to the
+// free list; the mtrie must not be used afterwards.
 func (m *mtrie) release() {
 	m.eng.Release(mtrieSlabs)
+	mtrieFree.mu.Lock()
+	if len(mtrieFree.free) < poolMaxSlabs {
+		mtrieFree.free = append(mtrieFree.free, m)
+	}
+	mtrieFree.mu.Unlock()
 }
 
 func (m *mtrie) insert(p prefix.Prefix, maxLength uint8, sideB bool) {

@@ -1,6 +1,7 @@
 package rov
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -82,4 +83,52 @@ func BenchmarkLiveApply(b *testing.B) {
 		l.Apply([]rpki.VRP{v}, nil)
 		l.Apply(nil, []rpki.VRP{v})
 	}
+}
+
+// BenchmarkSnapshotDiff measures the structural diff between two snapshots
+// of the paper-scale table. The shared/N cases diff two snapshots of one
+// LiveIndex history N applied VRPs apart: the walk skips shared subtrees, so
+// cost must scale with N (the divergence), not the 50k-VRP table. The
+// independent/1 case diffs two unrelated builds of the same tables — no
+// provable sharing, so it pays the full-table dual walk and stands as the
+// baseline the shared cases are measured against.
+func BenchmarkSnapshotDiff(b *testing.B) {
+	for _, n := range []int{1, 16, 256} {
+		l := NewLiveIndex(benchSet())
+		old := l.Snapshot()
+		delta := make([]rpki.VRP, n)
+		for i := range delta {
+			addr := uint64(198<<24|51<<16|100<<8) << 32
+			p, err := prefix.Make(prefix.IPv4, addr+uint64(i)<<40, 0, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delta[i] = rpki.VRP{Prefix: p, MaxLength: 24, AS: 64511}
+		}
+		l.Apply(delta, nil)
+		nw := l.Snapshot()
+		b.Run(fmt.Sprintf("shared/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ann, wd := Diff(old, nw)
+				if len(ann) != n || len(wd) != 0 {
+					b.Fatalf("diff %d/%d, want %d/0", len(ann), len(wd), n)
+				}
+			}
+		})
+	}
+	s := benchSet()
+	oldIx := NewIndex(s)
+	nwVRPs := append([]rpki.VRP(nil), s.VRPs()...)
+	nwVRPs = append(nwVRPs, rpki.VRP{Prefix: prefix.MustParse("198.51.100.0/24"), MaxLength: 24, AS: 64511})
+	nwIx := newIndexFromVRPs(nwVRPs)
+	b.Run("independent/1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ann, wd := Diff(oldIx, nwIx)
+			if len(ann) != 1 || len(wd) != 0 {
+				b.Fatalf("diff %d/%d, want 1/0", len(ann), len(wd))
+			}
+		}
+	})
 }

@@ -1,0 +1,107 @@
+package rov
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file is the structural snapshot diff: the delta between two published
+// Index snapshots, computed by walking both tries in lockstep and skipping
+// every subtree the two provably share. Snapshots from one LiveIndex history
+// share their arena lineage (path copying clones only the touched paths), so
+// the walk visits O(changed · prefix bits) nodes no matter how large the
+// table is; snapshots from unrelated builds — two different caches — share
+// nothing provable and pay one correct-but-linear dual walk instead. Either
+// way the result is exact, which is what lets an RTR cache synthesize the
+// update between any two retained serials on demand, and a multi-cache
+// failover reconcile a carried table against a new cache by delta instead of
+// a rebuild.
+
+// Diff returns the delta that transforms old's table into nw's: announced
+// holds the VRPs present only in nw, withdrawn the VRPs present only in old.
+// Both snapshots stay untouched; the returned slices are freshly allocated
+// and never alias either index.
+//
+// The output order is deterministic for a given pair of tables regardless of
+// how either index was built: canonical prefix order (IPv4 before IPv6,
+// shorter prefixes first), and within one prefix by (AS, MaxLength) — the
+// same total order a sorted-set difference over the two tables produces.
+//
+//repro:immutable
+func Diff(old, nw *Index) (announced, withdrawn []rpki.VRP) {
+	if old == nw {
+		return nil, nil
+	}
+	for slot := range old.fams {
+		fo, fn := &old.fams[slot], &nw.fams[slot]
+		shared := fo.eng.SharedArena(&fn.eng)
+		rootPfx, err := prefix.Make(slotFamily(slot), 0, 0, 0)
+		if err != nil {
+			panic(err) // unreachable: slotFamily yields valid families
+		}
+		core.DiffWalk(&fo.eng, &fn.eng, fo.root, fn.root, rootPfx, func(ai, bi int32, p prefix.Prefix) {
+			var spo, spn span
+			if ai >= 0 {
+				spo = fo.eng.Nodes[ai].Val
+			}
+			if bi >= 0 {
+				spn = fn.eng.Nodes[bi].Val
+			}
+			if shared && spo == spn {
+				// Same span cells in the shared entry slab: this node was
+				// cloned for a descendant's update, its own payload is
+				// untouched.
+				return
+			}
+			eo := old.entries[spo.off : spo.off+spo.n]
+			en := nw.entries[spn.off : spn.off+spn.n]
+			announced = appendEntryDiff(announced, p, en, eo)
+			withdrawn = appendEntryDiff(withdrawn, p, eo, en)
+		})
+	}
+	return announced, withdrawn
+}
+
+// appendEntryDiff appends, as VRPs at p, every entry of have that is absent
+// from other, keeping the appended group sorted by (AS, MaxLength) so Diff's
+// output depends only on the two tables, not on either index's insertion
+// history. Spans are tiny (entries of one exact prefix), so the membership
+// scan is linear and the sort is a handful of swaps.
+func appendEntryDiff(dst []rpki.VRP, p prefix.Prefix, have, other []entry) []rpki.VRP {
+	start := len(dst)
+	for _, e := range have {
+		found := false
+		for _, o := range other {
+			if o == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, rpki.VRP{Prefix: p, MaxLength: e.maxLength, AS: e.as})
+		}
+	}
+	if seg := dst[start:]; len(seg) > 1 {
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].AS != seg[j].AS {
+				return seg[i].AS < seg[j].AS
+			}
+			return seg[i].MaxLength < seg[j].MaxLength
+		})
+	}
+	return dst
+}
+
+// DiffSince returns the delta from old — any snapshot this LiveIndex
+// previously returned — to the current table. Snapshots retained across
+// Apply calls share the arena, so the cost tracks the number of VRPs that
+// changed in between; a snapshot predating a compaction or ResetTo falls
+// back to the linear walk.
+//
+//repro:immutable
+func (l *LiveIndex) DiffSince(old *Index) (announced, withdrawn []rpki.VRP) {
+	return Diff(old, l.Snapshot())
+}

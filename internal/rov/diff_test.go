@@ -1,0 +1,175 @@
+package rov
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/rpki"
+)
+
+// The tests in this file pin Diff bit-identical to naiveSetDiff, a reference
+// that knows nothing about tries or arenas: materialize both tables, take
+// the two set differences, sort canonically. Agreement is checked over both
+// regimes Diff distinguishes — shared-ancestry snapshot pairs (one LiveIndex
+// history, where the structural walk skips shared subtrees) and
+// independent-build pairs (two unrelated indexes, the linear fallback).
+
+// sortVRPsCanonical sorts vs into Diff's documented output order: canonical
+// prefix order, then AS, then MaxLength.
+func sortVRPsCanonical(vs []rpki.VRP) {
+	sort.Slice(vs, func(i, j int) bool {
+		if c := vs[i].Prefix.Compare(vs[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if vs[i].AS != vs[j].AS {
+			return vs[i].AS < vs[j].AS
+		}
+		return vs[i].MaxLength < vs[j].MaxLength
+	})
+}
+
+// naiveSetDiff is the reference: plain set difference over the two
+// materialized tables, canonically sorted.
+func naiveSetDiff(old, nw []rpki.VRP) (announced, withdrawn []rpki.VRP) {
+	os := make(map[rpki.VRP]bool, len(old))
+	for _, v := range old {
+		os[v] = true
+	}
+	ns := make(map[rpki.VRP]bool, len(nw))
+	for _, v := range nw {
+		ns[v] = true
+	}
+	for _, v := range nw {
+		if !os[v] {
+			announced = append(announced, v)
+		}
+	}
+	for _, v := range old {
+		if !ns[v] {
+			withdrawn = append(withdrawn, v)
+		}
+	}
+	sortVRPsCanonical(announced)
+	sortVRPsCanonical(withdrawn)
+	return announced, withdrawn
+}
+
+// checkDiffAgainstNaive asserts Diff(old, nw) is bit-identical to the naive
+// reference over the same two tables.
+func checkDiffAgainstNaive(t *testing.T, old, nw *Index) {
+	t.Helper()
+	gotA, gotW := Diff(old, nw)
+	wantA, wantW := naiveSetDiff(old.AppendVRPs(nil), nw.AppendVRPs(nil))
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatalf("announced mismatch:\n got %v\nwant %v", gotA, wantA)
+	}
+	if !reflect.DeepEqual(gotW, wantW) {
+		t.Fatalf("withdrawn mismatch:\n got %v\nwant %v", gotW, wantW)
+	}
+}
+
+// randomTable draws n distinct random VRPs.
+func randomTable(rng *rand.Rand, n int) []rpki.VRP {
+	seen := make(map[rpki.VRP]bool, n)
+	var out []rpki.VRP
+	for len(out) < n {
+		v := randomVRP(rng)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestDiffMatchesNaiveSharedAncestry(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 30; iter++ {
+		base := randomTable(rng, 150)
+		l := NewLiveIndex(rpki.NewSet(base))
+		old := l.Snapshot()
+		table := make(map[rpki.VRP]bool, len(base))
+		for _, v := range base {
+			table[v] = true
+		}
+		// Churn through several Applies: announce fresh VRPs, withdraw
+		// existing ones, and re-announce VRPs already present (no-ops the
+		// diff must not report).
+		for k := 0; k < 4; k++ {
+			var ann, wd []rpki.VRP
+			for i := 0; i < 10; i++ {
+				v := randomVRP(rng)
+				ann = append(ann, v)
+				table[v] = true
+			}
+			for v := range table {
+				if rng.Intn(12) == 0 {
+					wd = append(wd, v)
+					delete(table, v)
+				}
+			}
+			l.Apply(ann, wd)
+		}
+		settle(t, l)
+		checkDiffAgainstNaive(t, old, l.Snapshot())
+
+		// The reverse direction swaps announced and withdrawn.
+		checkDiffAgainstNaive(t, l.Snapshot(), old)
+	}
+}
+
+func TestDiffMatchesNaiveIndependentBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 30; iter++ {
+		old := randomTable(rng, 120)
+		// Derive the second table from the first: drop some, add some, so
+		// the overlap the linear walk must cancel out is substantial.
+		var nw []rpki.VRP
+		for _, v := range old {
+			if rng.Intn(8) != 0 {
+				nw = append(nw, v)
+			}
+		}
+		nw = append(nw, randomTable(rng, 15)...)
+		checkDiffAgainstNaive(t, NewIndex(rpki.NewSet(old)), NewIndex(rpki.NewSet(nw)))
+	}
+}
+
+func TestDiffEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	table := randomTable(rng, 50)
+	ix := NewIndex(rpki.NewSet(table))
+	empty := NewIndex(rpki.NewSet(nil))
+
+	if a, w := Diff(ix, ix); a != nil || w != nil {
+		t.Fatalf("Diff(ix, ix) = %v, %v; want nil, nil", a, w)
+	}
+	// Equal tables, independent builds: still empty.
+	if a, w := Diff(ix, NewIndex(rpki.NewSet(table))); len(a) != 0 || len(w) != 0 {
+		t.Fatalf("Diff over equal independent tables = %v, %v; want empty", a, w)
+	}
+	checkDiffAgainstNaive(t, empty, ix) // everything announced
+	checkDiffAgainstNaive(t, ix, empty) // everything withdrawn
+}
+
+func TestDiffSurvivesCompactionAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	base := randomTable(rng, 100)
+	l := NewLiveIndex(rpki.NewSet(base))
+	old := l.Snapshot()
+
+	// ResetTo rebuilds into a fresh arena: the snapshots no longer share a
+	// lineage and Diff must take the linear path, still exact.
+	next := randomTable(rng, 90)
+	l.ResetTo(next)
+	checkDiffAgainstNaive(t, old, l.Snapshot())
+
+	// DiffSince is Diff against the current snapshot.
+	a1, w1 := l.DiffSince(old)
+	a2, w2 := Diff(old, l.Snapshot())
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(w1, w2) {
+		t.Fatal("DiffSince disagrees with Diff over the same snapshots")
+	}
+}

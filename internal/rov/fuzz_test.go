@@ -113,3 +113,62 @@ func FuzzIndex(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDiff drives a LiveIndex with a fuzzer-chosen announce/withdraw stream
+// (the FuzzIndex op encoding, minus queries), snapshots the table halfway
+// through, and pins Diff between the snapshot and the final table — and
+// between an independent rebuild of the snapshot's table and the final
+// table — bit-identical to the naive sorted-set difference. The first pair
+// shares an arena lineage (the structural fast path); the rebuilt pair does
+// not (the linear fallback); both must agree with the reference exactly.
+func FuzzDiff(f *testing.F) {
+	f.Add([]byte{
+		0, 168, 122, 0, 0, 16, 0, 111, // announce 168.122.0.0/16-16 => AS111
+		0, 168, 122, 0, 0, 16, 8, 111, // widen: /16-24 alongside it
+		1, 168, 122, 0, 0, 16, 0, 111, // withdraw the first
+		8, 32, 1, 13, 184, 32, 16, 200, // IPv6 announce
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		live := NewLiveIndex(rpki.NewSet(nil))
+		nops := len(data) / 8
+		var old *Index
+		for i := 0; i < nops; i++ {
+			if i == nops/2 {
+				old = live.Snapshot()
+			}
+			op := data[i*8 : i*8+8]
+			tag := op[0]
+			fam, famMax := prefix.IPv4, uint8(32)
+			if tag&8 != 0 {
+				fam, famMax = prefix.IPv6, 64
+			}
+			l := op[5] % (famMax + 1)
+			hi := uint64(binary.BigEndian.Uint32(op[1:5])) << 32
+			if fam == prefix.IPv6 {
+				hi |= uint64(op[4])<<24 | uint64(op[3])<<16 | uint64(op[2])<<8 | uint64(op[1])
+			}
+			p, err := prefix.Make(fam, hi, 0, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ml := l + op[6]%(famMax-l+1)
+			if ml > p.MaxLen() {
+				ml = p.MaxLen()
+			}
+			v := rpki.VRP{Prefix: p, MaxLength: ml, AS: rpki.ASN(op[7]) % 8}
+			if tag%2 == 0 {
+				live.Apply([]rpki.VRP{v}, nil)
+			} else {
+				live.Apply(nil, []rpki.VRP{v})
+			}
+		}
+		if old == nil {
+			old = live.Snapshot()
+		}
+		nw := live.Snapshot()
+		checkDiffAgainstNaive(t, old, nw)
+		// Independent rebuild of the same old table: linear path, same answer.
+		rebuilt := newIndexFromVRPs(old.AppendVRPs(nil))
+		checkDiffAgainstNaive(t, rebuilt, nw)
+	})
+}

@@ -44,8 +44,18 @@ type LiveIndex struct {
 	// steady-state logging allocates nothing. Guarded by mu.
 	compacting bool
 	pending    []pendingOp
-	// gen is bumped by ResetTo; a compaction that started against an older
-	// generation discards its rebuild instead of resurrecting replaced data.
+	// pendingLimit bounds the replay log (0 means maxPendingOps). When churn
+	// outpaces the rebuild and the log hits the limit, Apply aborts the
+	// compaction — gen++ makes the compactor discard its stale rebuild —
+	// and the garbage counters, left intact, retrigger a fresh compaction
+	// from a newer snapshot once the aborted one drains. Without the bound,
+	// sustained churn (replayed MRT update streams) grows the log without
+	// limit while the rebuild keeps falling further behind.
+	pendingLimit  int
+	compactAborts int
+	// gen is bumped by ResetTo and by a replay-log-overflow abort; a
+	// compaction that started against an older generation discards its
+	// rebuild instead of resurrecting replaced (or stale) data.
 	gen uint64
 
 	// compactHook, when set (tests), runs on the compactor goroutine before
@@ -60,6 +70,10 @@ type pendingOp struct {
 	v        rpki.VRP
 	announce bool
 }
+
+// maxPendingOps is the default replay-log bound: past it, a compaction is
+// abandoned rather than chased (see LiveIndex.pendingLimit).
+const maxPendingOps = 1 << 16
 
 // NewLiveIndex builds a live table over the set's VRPs. Seeding with an
 // empty set and applying the first full sync as one announce delta is
@@ -121,6 +135,20 @@ func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
 		for _, v := range withdraw {
 			l.pending = append(l.pending, pendingOp{v: v})
 		}
+		limit := l.pendingLimit
+		if limit <= 0 {
+			limit = maxPendingOps
+		}
+		if len(l.pending) > limit {
+			// Churn has outpaced the rebuild: abort and retry rather than
+			// let the log grow without bound. The gen bump makes the
+			// in-flight compactor discard its rebuild; the garbage counters
+			// stay up, so once it drains, the next Apply starts a fresh
+			// compaction from a snapshot that already includes this churn.
+			l.gen++
+			l.compactAborts++
+			l.resetPending()
+		}
 	case l.needCompact(nw):
 		l.compacting = true
 		go l.compact(nw, l.gen, l.compactHook)
@@ -170,7 +198,10 @@ func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
 	defer l.mu.Unlock()
 	l.compacting = false
 	if l.gen != gen {
-		// ResetTo replaced the table while we rebuilt the old one.
+		// ResetTo replaced the table while we rebuilt the old one, or the
+		// replay log overflowed and Apply aborted us: either way the rebuild
+		// is stale. Drop it; the garbage accounting (zeroed by ResetTo, left
+		// intact by an abort) decides whether a fresh compaction follows.
 		l.resetPending()
 		return
 	}

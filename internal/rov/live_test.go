@@ -580,3 +580,96 @@ func TestLiveIndexResetTo(t *testing.T) {
 		t.Fatalf("delta after reset: %v len %d, want NotFound len 1", got, l.Len())
 	}
 }
+
+// TestLiveIndexPendingLogBounded is the regression test for the compaction
+// replay log: churn that outpaces a (here: wedged) rebuild must never grow
+// the pending log past the configured bound. Apply aborts the compaction at
+// the limit and the garbage counters retrigger a fresh one when the stalled
+// goroutine drains, so the table still converges to exactly the applied
+// history.
+func TestLiveIndexPendingLogBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var base []rpki.VRP
+	for i := 0; i < 400; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l := NewLiveIndex(rpki.NewSet(base))
+	const limit = 64
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.pendingLimit = limit
+	l.compactHook = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	l.mu.Unlock()
+
+	state := map[rpki.VRP]struct{}{}
+	for _, v := range rpki.NewSet(base).VRPs() {
+		state[v] = struct{}{}
+	}
+
+	// Churn until a compaction launches and stalls inside the hook.
+	stalled := false
+	for i := 0; i < 200000 && !stalled; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+		delete(state, v)
+		select {
+		case <-started:
+			stalled = true
+		default:
+		}
+	}
+	if !stalled {
+		t.Fatal("churn never triggered a compaction")
+	}
+
+	// Keep churning far past the limit while the compactor is wedged. The
+	// log must stay bounded at every step, not just at the end.
+	for i := 0; i < 50*limit; i++ {
+		v := randomVRP(rng)
+		if _, ok := state[v]; ok {
+			l.Apply(nil, []rpki.VRP{v})
+			delete(state, v)
+		} else {
+			l.Apply([]rpki.VRP{v}, nil)
+			state[v] = struct{}{}
+		}
+		l.mu.Lock()
+		n := len(l.pending)
+		l.mu.Unlock()
+		if n > limit {
+			t.Fatalf("pending log grew to %d ops, limit %d", n, limit)
+		}
+	}
+	l.mu.Lock()
+	aborts := l.compactAborts
+	l.mu.Unlock()
+	if aborts == 0 {
+		t.Fatal("no compaction abort despite churn past the limit")
+	}
+
+	// Unwedge: the stale rebuild is discarded (generation mismatch), the
+	// retried compaction completes, and the table equals the applied history
+	// exactly.
+	close(release)
+	settle(t, l)
+	want := make([]rpki.VRP, 0, len(state))
+	for v := range state {
+		want = append(want, v)
+	}
+	got := l.Snapshot().AppendVRPs(nil)
+	extra, missing := naiveSetDiff(want, got)
+	if len(extra) != 0 || len(missing) != 0 {
+		t.Fatalf("table diverged after aborted compactions: %d extra, %d missing", len(extra), len(missing))
+	}
+	if l.Len() != len(state) {
+		t.Fatalf("live len %d, want %d", l.Len(), len(state))
+	}
+}

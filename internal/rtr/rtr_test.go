@@ -494,3 +494,121 @@ func TestOnDeltaReportsAppliedDeltas(t *testing.T) {
 	}
 	checkMirror()
 }
+
+// TestSerialDeltaMatchesChainedDeltas pins the snapshot-diff refactor to the
+// behavior of the per-serial delta chain it replaced. The test replays the
+// chain the old server stored — one diffSets delta per update, concatenated
+// from the query serial forward — and requires the synthesized response to
+// (a) transform the table at the query serial into exactly the same final
+// table the chain produces, and (b) be the minimal form of that update: no
+// announcement of a VRP the router already holds, no withdrawal of one it
+// does not, no VRP appearing as both.
+func TestSerialDeltaMatchesChainedDeltas(t *testing.T) {
+	srv := NewServer(testVRPs())
+	srv.KeepDeltas = 4
+
+	applyPrefixPDUs := func(t *testing.T, table map[rpki.VRP]bool, delta []Prefix) {
+		t.Helper()
+		for _, p := range delta {
+			if p.Flags == FlagAnnounce {
+				table[p.VRP] = true
+			} else {
+				delete(table, p.VRP)
+			}
+		}
+	}
+	asMap := func(vrps []rpki.VRP) map[rpki.VRP]bool {
+		m := make(map[rpki.VRP]bool, len(vrps))
+		for _, v := range vrps {
+			m[v] = true
+		}
+		return m
+	}
+
+	// Six updates with adds, removes, and churn (a VRP announced in one
+	// update and withdrawn in a later one, which the chain carries as two
+	// ops and the synthesized diff must cancel entirely).
+	tables := map[Serial][]rpki.VRP{1: testVRPs().VRPs()}
+	chains := map[Serial][]Prefix{}
+	cur := testVRPs()
+	churn := rpki.VRP{Prefix: mp("203.0.113.0/24"), MaxLength: 24, AS: 64500}
+	for i := 0; i < 6; i++ {
+		vrps := append([]rpki.VRP(nil), cur.VRPs()...)
+		switch i {
+		case 0:
+			vrps = append(vrps, churn)
+		case 2:
+			vrps = vrps[1:] // withdraw the canonically-first VRP
+		case 4: // withdraw the churn VRP again
+			kept := vrps[:0]
+			for _, v := range vrps {
+				if v != churn {
+					kept = append(kept, v)
+				}
+			}
+			vrps = kept
+		}
+		vrps = append(vrps, rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(9 + i), AS: rpki.ASN(200 + i)})
+		next := rpki.NewSet(vrps)
+		chains[Serial(2+i)] = diffSets(cur, next)
+		srv.UpdateSet(next)
+		cur = next
+		tables[Serial(2+i)] = cur.VRPs()
+	}
+	final := srv.Serial() // 7
+	addr, stop := startServer(t, srv)
+	defer stop()
+	session := srv.SessionID()
+
+	for q := Serial(2); q != final+1; q++ {
+		pdus := serialQueryResponse(t, addr, session, q)
+		var resp []Prefix
+		for _, p := range pdus {
+			if pp, ok := p.(*Prefix); ok {
+				resp = append(resp, *pp)
+			}
+		}
+		// The old chain's output: every stored delta from q+1 through final,
+		// concatenated, applied in order.
+		chainTable := asMap(tables[q])
+		for s := q + 1; s != final+1; s++ {
+			d, ok := chains[s]
+			if !ok {
+				t.Fatalf("test bug: no chain delta for serial %d", s)
+			}
+			applyPrefixPDUs(t, chainTable, d)
+		}
+		// (a) Same net effect.
+		gotTable := asMap(tables[q])
+		applyPrefixPDUs(t, gotTable, resp)
+		if len(gotTable) != len(chainTable) {
+			t.Fatalf("serial %d: synthesized delta yields %d VRPs, chain yields %d", q, len(gotTable), len(chainTable))
+		}
+		for v := range chainTable {
+			if !gotTable[v] {
+				t.Fatalf("serial %d: synthesized delta missing %v from the chained table", q, v)
+			}
+		}
+		// (b) Minimal form.
+		start := asMap(tables[q])
+		seen := map[rpki.VRP]bool{}
+		for _, p := range resp {
+			if seen[p.VRP] {
+				t.Fatalf("serial %d: VRP %v appears twice in the synthesized delta", q, p.VRP)
+			}
+			seen[p.VRP] = true
+			if p.Flags == FlagAnnounce && start[p.VRP] {
+				t.Fatalf("serial %d: redundant announce of %v", q, p.VRP)
+			}
+			if p.Flags == FlagWithdraw && !start[p.VRP] {
+				t.Fatalf("serial %d: withdraw of absent %v", q, p.VRP)
+			}
+		}
+	}
+
+	// One serial past the retention horizon: Cache Reset, as before.
+	pdus := serialQueryResponse(t, addr, session, 1)
+	if _, ok := pdus[len(pdus)-1].(*CacheReset); !ok {
+		t.Fatalf("serial 1 (evicted): got %T, want CacheReset", pdus[len(pdus)-1])
+	}
+}

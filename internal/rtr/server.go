@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/rov"
 	"repro/internal/rpki"
 )
 
@@ -13,6 +14,13 @@ import (
 // Figure 1. It serves the current VRP set to any number of router clients,
 // assigns serial numbers to updates, answers Serial Queries with incremental
 // deltas when it can, and pushes Serial Notify PDUs when the data changes.
+//
+// The cache stores no delta chains: each update's table goes into a short
+// ring of immutable rov snapshots sharing one arena lineage, and the answer
+// to a Serial Query is synthesized on demand as the structural diff between
+// the router's retained snapshot and the current one — exact between any two
+// retained serials, O(changed) in the snapshots' divergence, and free of
+// serial arithmetic (the ring is searched by serial equality).
 type Server struct {
 	// Timers advertised in version-1 End of Data PDUs (seconds). Zero values
 	// are replaced by the RFC 8210 suggested defaults.
@@ -27,10 +35,22 @@ type Server struct {
 	sessionID uint16
 	serial    Serial
 	current   *rpki.Set
-	deltas    map[Serial][]Prefix // delta that moved serial s-1 -> s
-	conns     map[*conn]struct{}
-	listener  net.Listener
-	closed    bool
+	// live mirrors current as a persistent-snapshot index; its retained
+	// snapshots share an arena lineage, which is what makes the on-demand
+	// serial-to-serial diff structural instead of a full table walk.
+	live  *rov.LiveIndex
+	snaps []serialSnapshot // oldest first; last is the current serial's table
+	conns map[*conn]struct{}
+
+	listener net.Listener
+	closed   bool
+}
+
+// serialSnapshot pairs a serial number with the immutable table the cache
+// served at that serial.
+type serialSnapshot struct {
+	serial Serial
+	table  *rov.Index
 }
 
 type conn struct {
@@ -60,7 +80,7 @@ func NewServer(initial *rpki.Set) *Server {
 	if initial == nil {
 		initial = rpki.NewSet(nil)
 	}
-	return &Server{
+	s := &Server{
 		Refresh:    3600,
 		Retry:      600,
 		Expire:     7200,
@@ -68,9 +88,11 @@ func NewServer(initial *rpki.Set) *Server {
 		sessionID:  0x5eed,
 		serial:     1,
 		current:    initial,
-		deltas:     make(map[Serial][]Prefix),
+		live:       rov.NewLiveIndex(initial),
 		conns:      make(map[*conn]struct{}),
 	}
+	s.snaps = []serialSnapshot{{serial: s.serial, table: s.live.Snapshot()}}
+	return s
 }
 
 // Serial returns the current serial number.
@@ -97,17 +119,37 @@ func (s *Server) SetSession(id uint16, serial Serial) {
 	defer s.mu.Unlock()
 	s.sessionID = id
 	s.serial = serial
+	// Prior serials belong to the old numbering; only the current table is
+	// answerable incrementally from here.
+	s.snaps = append(s.snaps[:0], serialSnapshot{serial: serial, table: s.live.Snapshot()})
 }
 
-// UpdateSet replaces the served VRP set, computes the announce/withdraw
-// delta, bumps the serial, and notifies connected routers.
+// UpdateSet replaces the served VRP set, applies the announce/withdraw delta
+// to the snapshot history, bumps the serial, and notifies connected routers.
 func (s *Server) UpdateSet(next *rpki.Set) {
 	s.mu.Lock()
-	delta := diffSets(s.current, next)
+	var ann, wd []rpki.VRP
+	for _, p := range diffSets(s.current, next) {
+		if p.Flags == FlagAnnounce {
+			ann = append(ann, p.VRP)
+		} else {
+			wd = append(wd, p.VRP)
+		}
+	}
+	s.live.Apply(ann, wd)
 	s.serial++
-	s.deltas[s.serial] = delta
-	//lint:ignore serialcmp deliberate ring retreat: evict the delta KeepDeltas+1 steps behind the new serial.
-	delete(s.deltas, s.serial-Serial(s.KeepDeltas)-1)
+	s.snaps = append(s.snaps, serialSnapshot{serial: s.serial, table: s.live.Snapshot()})
+	// Retain KeepDeltas+2 snapshots: the current serial, plus the
+	// KeepDeltas+1 serials behind it that stay answerable (the same horizon
+	// the per-serial delta chain used to cover). No serial arithmetic — the
+	// ring's length is the retention policy.
+	if keep := s.KeepDeltas + 2; len(s.snaps) > keep {
+		n := copy(s.snaps, s.snaps[len(s.snaps)-keep:])
+		for i := n; i < len(s.snaps); i++ {
+			s.snaps[i] = serialSnapshot{} // release the evicted table
+		}
+		s.snaps = s.snaps[:n]
+	}
 	s.current = next
 	serial, session := s.serial, s.sessionID
 	conns := make([]*conn, 0, len(s.conns))
@@ -295,34 +337,40 @@ func (s *Server) sendFull(c *conn, version byte) error {
 }
 
 // answerSerialQuery sends an incremental update when the session matches and
-// the delta chain from the router's serial is retained; otherwise Cache
-// Reset.
+// the router's serial is still in the snapshot ring; otherwise Cache Reset.
+// The update is synthesized on demand as the structural diff between the
+// retained snapshot and the current table — there is no stored chain to
+// walk, and any retained serial pair diffs in O(changed).
 func (s *Server) answerSerialQuery(c *conn, version byte, q *SerialQuery) error {
 	s.mu.Lock()
 	session, serial := s.sessionID, s.serial
-	var chain []Prefix
 	ok := q.SessionID == session
+	var ann, wd []rpki.VRP
 	if ok && q.Serial != serial {
-		for from := q.Serial + 1; ; from++ {
-			d, have := s.deltas[from]
-			if !have {
-				ok = false
+		var from *rov.Index
+		for _, sn := range s.snaps {
+			if sn.serial == q.Serial {
+				from = sn.table
 				break
 			}
-			chain = append(chain, d...)
-			if from == serial {
-				break
-			}
+		}
+		if from == nil {
+			ok = false
+		} else {
+			ann, wd = rov.Diff(from, s.live.Snapshot())
 		}
 	}
 	s.mu.Unlock()
 	if !ok {
 		return c.send(version, &CacheReset{})
 	}
-	pdus := make([]PDU, 0, len(chain)+2)
+	pdus := make([]PDU, 0, len(ann)+len(wd)+2)
 	pdus = append(pdus, &CacheResponse{SessionID: session})
-	for i := range chain {
-		pdus = append(pdus, &chain[i])
+	for i := range ann {
+		pdus = append(pdus, &Prefix{Flags: FlagAnnounce, VRP: ann[i]})
+	}
+	for i := range wd {
+		pdus = append(pdus, &Prefix{Flags: FlagWithdraw, VRP: wd[i]})
 	}
 	pdus = append(pdus, s.endOfData(session, serial))
 	return c.send(version, pdus...)

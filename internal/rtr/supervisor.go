@@ -39,6 +39,12 @@ type Supervisor struct {
 	// OnUpdate, when set, is invoked after every successful sync with the
 	// new serial, on the supervisor goroutine.
 	OnUpdate func(serial Serial)
+	// OnDown, when set, is invoked on the supervisor goroutine each time a
+	// client generation ends or a dial fails, with the error that ended it.
+	// By the time it fires the connection is torn down and the session
+	// state carried; the supervisor is about to back off and redial. A
+	// multi-cache coordinator (MultiSupervisor) uses it to fail over.
+	OnDown func(err error)
 	// Refresh/Retry/Expire are fallback timers until the cache advertises
 	// its own in a version-1 End of Data; adopted values are carried across
 	// generations. Read or set them only before Run or after Stop.
@@ -193,6 +199,15 @@ func (s *Supervisor) Healthy() bool {
 	return s.synced && now.Sub(s.lastSync) < s.Expire
 }
 
+// CurrentTimers returns the refresh, retry, and expire intervals currently
+// in force: the configured fallbacks, overwritten by whatever the cache
+// advertised in its most recent version-1 End of Data.
+func (s *Supervisor) CurrentTimers() (refresh, retry, expire time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Refresh, s.Retry, s.Expire
+}
+
 // LastSync returns the time of the last successful sync on any generation.
 func (s *Supervisor) LastSync() time.Time {
 	s.mu.Lock()
@@ -233,6 +248,9 @@ func (s *Supervisor) Run() error {
 		synced, err := s.generation()
 		if s.isStopped() {
 			return nil
+		}
+		if s.OnDown != nil {
+			s.OnDown(err)
 		}
 		if synced {
 			backoff = s.BackoffMin
