@@ -250,6 +250,15 @@ func BenchmarkAblationROVIndex(b *testing.B) {
 			ix.Validate(q.Prefix, q.Origin)
 		}
 	})
+	b.Run("compact", func(b *testing.B) {
+		cx := rov.NewCompactIndex(d.VRPs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			cx.Validate(q.Prefix, q.Origin)
+		}
+	})
 	b.Run("linear", func(b *testing.B) {
 		ref := rov.NewReference(d.VRPs)
 		b.ReportAllocs()
@@ -277,11 +286,13 @@ func BenchmarkIndexBuild(b *testing.B) {
 }
 
 // BenchmarkIndexValidateBatch measures bulk origin validation over the
-// paper-scale index — the serving path a router runs across its whole RIB
-// after a table update. ns/op is per batch of 1000 routes.
+// paper-scale table — the serving path a router runs across its whole RIB
+// after a table update, which since the path-compressed index landed is the
+// compact structure (the bit-trie batch baseline lives in internal/rov's
+// BenchmarkValidateBatch). ns/op is per batch of 1000 routes.
 func BenchmarkIndexValidateBatch(b *testing.B) {
 	d := getHeadline(b)
-	ix := rov.NewIndex(d.VRPs)
+	cx := rov.NewCompactIndex(d.VRPs)
 	rts := d.Table.Routes()[:1000]
 	routes := make([]rov.Route, len(rts))
 	for i, q := range rts {
@@ -291,13 +302,19 @@ func BenchmarkIndexValidateBatch(b *testing.B) {
 	b.Run("serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			dst = ix.ValidateBatch(routes, dst)
+			dst = cx.ValidateBatch(routes, dst)
+		}
+	})
+	b.Run("sorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = cx.ValidateBatchSorted(routes, dst)
 		}
 	})
 	b.Run("parallel4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			dst = ix.ValidateBatchParallel(routes, dst, 4)
+			dst = cx.ValidateBatchParallel(routes, dst, 4)
 		}
 	})
 }

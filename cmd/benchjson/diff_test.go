@@ -20,7 +20,7 @@ func TestDiffResults(t *testing.T) {
 		{Package: "repro/internal/rov", Name: "BenchmarkValidate", NsPerOp: fp(40), AllocsPerOp: fp(0)},
 		{Package: "repro/internal/core", Name: "BenchmarkFresh", NsPerOp: fp(7)},
 	}
-	rows, worst := diffResults(old, cur, nil)
+	rows, worst := diffResults(old, cur, nil, nil)
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want 4 (2 common + 1 removed + 1 new)", len(rows))
 	}
@@ -62,7 +62,7 @@ func TestDiffResults(t *testing.T) {
 func TestDiffResultsZeroOld(t *testing.T) {
 	old := []result{{Name: "BenchmarkX", NsPerOp: fp(0)}}
 	cur := []result{{Name: "BenchmarkX", NsPerOp: fp(3)}}
-	rows, worst := diffResults(old, cur, nil)
+	rows, worst := diffResults(old, cur, nil, nil)
 	if rows[0].Ns == nil || !math.IsInf(rows[0].Ns.Pct, 1) {
 		t.Fatalf("zero-baseline delta = %+v, want +inf", rows[0].Ns)
 	}
@@ -74,7 +74,7 @@ func TestDiffResultsZeroOld(t *testing.T) {
 func TestDiffResultsNoCommon(t *testing.T) {
 	rows, worst := diffResults(
 		[]result{{Name: "BenchmarkA", NsPerOp: fp(1)}},
-		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}}, nil)
+		[]result{{Name: "BenchmarkB", NsPerOp: fp(1)}}, nil, nil)
 	if len(rows) != 2 || worst != (worstRegressions{}) {
 		t.Fatalf("rows=%d worst=%+v, want 2 rows and zero worsts", len(rows), worst)
 	}
@@ -105,14 +105,14 @@ func TestGateFailures(t *testing.T) {
 		if c.name == "alloc regression gated" {
 			ww.Allocs = 3
 		}
-		got := gateFailures(ww, c.base, c.ns, c.bytes, c.alloc)
+		got := gateFailures(ww, c.base, c.ns, c.bytes, c.alloc, -1)
 		if len(got) != c.want {
 			t.Errorf("%s: gateFailures(%+v, %v, %v, %v, %v) = %v, want %d failures",
 				c.name, ww, c.base, c.ns, c.bytes, c.alloc, got, c.want)
 		}
 	}
 	// The failure text names the metric and both percentages.
-	msgs := gateFailures(worstRegressions{Ns: 33}, 20, -1, -1, -1)
+	msgs := gateFailures(worstRegressions{Ns: 33}, 20, -1, -1, -1, -1)
 	if len(msgs) != 1 || !strings.Contains(msgs[0], "ns/op") || !strings.Contains(msgs[0], "+33.0%") || !strings.Contains(msgs[0], "20.0%") {
 		t.Fatalf("failure message = %q", msgs)
 	}
@@ -121,7 +121,7 @@ func TestGateFailures(t *testing.T) {
 func TestPrintDiffRenders(t *testing.T) {
 	rows, _ := diffResults(
 		[]result{{Name: "BenchmarkA", NsPerOp: fp(100), BytesPerOp: fp(1 << 20), AllocsPerOp: fp(3)}},
-		[]result{{Name: "BenchmarkA", NsPerOp: fp(90), BytesPerOp: fp(1 << 19), AllocsPerOp: fp(3)}}, nil)
+		[]result{{Name: "BenchmarkA", NsPerOp: fp(90), BytesPerOp: fp(1 << 19), AllocsPerOp: fp(3)}}, nil, nil)
 	var buf bytes.Buffer
 	printDiff(&buf, "old.json", "new.json", rows)
 	out := buf.String()
@@ -145,11 +145,11 @@ func TestDiffResultsMemNoisy(t *testing.T) {
 		{Package: "repro", Name: "BenchmarkPar/p8", NsPerOp: fp(1100), BytesPerOp: fp(1300), AllocsPerOp: fp(10)},
 		{Package: "repro", Name: "BenchmarkExact", NsPerOp: fp(1000), BytesPerOp: fp(1050), AllocsPerOp: fp(10)},
 	}
-	matcher, err := memNoisyMatcher("repro.BenchmarkPar/*")
+	matcher, err := globMatcher("-mem-noisy", "repro.BenchmarkPar/*")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, worst := diffResults(old, cur, matcher)
+	_, worst := diffResults(old, cur, matcher, nil)
 	if worst.NoisyMem != 30 {
 		t.Fatalf("worst.NoisyMem = %v, want 30 (the matched benchmark's B/op)", worst.NoisyMem)
 	}
@@ -161,14 +161,52 @@ func TestDiffResultsMemNoisy(t *testing.T) {
 	}
 	// NoisyMem is gated at the ns threshold: 30% passes a 50% wall-clock
 	// gate but would have failed the 10% memory gate.
-	if msgs := gateFailures(worst, 50, -1, 10, 10); len(msgs) != 0 {
+	if msgs := gateFailures(worst, 50, -1, 10, 10, -1); len(msgs) != 0 {
 		t.Fatalf("gateFailures = %v, want none (noisy mem inside wall-clock threshold)", msgs)
 	}
-	if msgs := gateFailures(worst, 20, -1, 10, 10); len(msgs) != 1 || !strings.Contains(msgs[0], "mem-noisy") {
+	if msgs := gateFailures(worst, 20, -1, 10, 10, -1); len(msgs) != 1 || !strings.Contains(msgs[0], "mem-noisy") {
 		t.Fatalf("gateFailures = %v, want one mem-noisy failure at a 20%% gate", msgs)
 	}
 	// An invalid pattern is a flag error, not a silent no-match.
-	if _, err := memNoisyMatcher("[bad"); err == nil {
-		t.Fatal("memNoisyMatcher accepted an invalid pattern")
+	if _, err := globMatcher("-mem-noisy", "[bad"); err == nil {
+		t.Fatal("globMatcher accepted an invalid pattern")
+	}
+}
+
+// TestDiffResultsTimeNoisy pins the -time-noisy routing: a matched
+// benchmark's ns/op regression lands in worst.NoisyNs (gated at
+// -threshold-time-noisy) instead of worst.Ns, while its memory metrics and
+// every unmatched benchmark keep their usual gates.
+func TestDiffResultsTimeNoisy(t *testing.T) {
+	old := []result{
+		{Package: "repro", Name: "BenchmarkLive/delta1", NsPerOp: fp(1000), BytesPerOp: fp(1000), AllocsPerOp: fp(2)},
+		{Package: "repro", Name: "BenchmarkSteady", NsPerOp: fp(1000), BytesPerOp: fp(1000), AllocsPerOp: fp(2)},
+	}
+	cur := []result{
+		{Package: "repro", Name: "BenchmarkLive/delta1", NsPerOp: fp(2000), BytesPerOp: fp(1000), AllocsPerOp: fp(2)},
+		{Package: "repro", Name: "BenchmarkSteady", NsPerOp: fp(1200), BytesPerOp: fp(1000), AllocsPerOp: fp(2)},
+	}
+	matcher, err := globMatcher("-time-noisy", "repro.BenchmarkLive/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, worst := diffResults(old, cur, nil, matcher)
+	if worst.NoisyNs != 100 {
+		t.Fatalf("worst.NoisyNs = %v, want 100 (the matched benchmark's ns/op)", worst.NoisyNs)
+	}
+	if worst.Ns != 20 {
+		t.Fatalf("worst.Ns = %v, want 20 (the unmatched benchmark only)", worst.Ns)
+	}
+	// The +100% matched regression passes a 200% time-noisy gate while the
+	// strict 50% ns/op gate still covers the unmatched benchmark.
+	if msgs := gateFailures(worst, 50, -1, 10, 10, 200); len(msgs) != 0 {
+		t.Fatalf("gateFailures = %v, want none (time-noisy inside its own threshold)", msgs)
+	}
+	if msgs := gateFailures(worst, 50, -1, 10, 10, 80); len(msgs) != 1 || !strings.Contains(msgs[0], "time-noisy") {
+		t.Fatalf("gateFailures = %v, want one time-noisy failure at an 80%% gate", msgs)
+	}
+	// With no explicit time-noisy threshold, the ns/op threshold applies.
+	if msgs := gateFailures(worst, 50, -1, 10, 10, -1); len(msgs) != 1 || !strings.Contains(msgs[0], "time-noisy") {
+		t.Fatalf("gateFailures = %v, want the inherited 50%% gate to fail", msgs)
 	}
 }

@@ -27,6 +27,10 @@
 // profile is itself scheduler-dependent (parallel workers growing
 // worker-local arenas by demand-order doubling): list those with
 // -mem-noisy to gate their memory metrics at the wall-clock threshold.
+// Benchmarks whose timed loop couples to background work (the live index's
+// asynchronous compactor amortizing O(table) rebuilds into the window) swing
+// even further on identical code: list those with -time-noisy and set
+// -threshold-time-noisy to give their ns/op the extra headroom.
 package main
 
 import (
@@ -63,6 +67,8 @@ func main() {
 	thresholdBytes := flag.Float64("threshold-bytes", -1, "with -diff: per-metric override of -threshold for B/op (-1 inherits, 0 disables)")
 	thresholdAllocs := flag.Float64("threshold-allocs", -1, "with -diff: per-metric override of -threshold for allocs/op (-1 inherits, 0 disables)")
 	memNoisy := flag.String("mem-noisy", "", "with -diff: comma-separated glob patterns of package-qualified benchmarks whose B/op and allocs/op are scheduler-dependent; they are gated at the ns/op threshold instead of the memory one")
+	timeNoisy := flag.String("time-noisy", "", "with -diff: comma-separated glob patterns of package-qualified benchmarks whose ns/op is scheduler-dependent; they are gated at -threshold-time-noisy instead of the ns/op threshold")
+	thresholdTimeNoisy := flag.Float64("threshold-time-noisy", -1, "with -diff: ns/op threshold for -time-noisy benchmarks (-1 inherits the ns/op threshold, 0 disables)")
 	flag.Parse()
 
 	if *diffMode {
@@ -77,13 +83,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		matcher, err := memNoisyMatcher(*memNoisy)
+		memMatcher, err := globMatcher("-mem-noisy", *memNoisy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, worst := diffResults(old, cur, matcher)
+		timeMatcher, err := globMatcher("-time-noisy", *timeNoisy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, worst := diffResults(old, cur, memMatcher, timeMatcher)
 		printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), rows)
-		failures := gateFailures(worst, *threshold, *thresholdNs, *thresholdBytes, *thresholdAllocs)
+		failures := gateFailures(worst, *threshold, *thresholdNs, *thresholdBytes, *thresholdAllocs, *thresholdTimeNoisy)
 		for _, f := range failures {
 			log.Print(f)
 		}
@@ -173,15 +183,15 @@ func parse(in io.Reader) ([]result, error) {
 	return out, sc.Err()
 }
 
-// memNoisyMatcher compiles the -mem-noisy flag (comma-separated path.Match
+// globMatcher compiles a noisy-benchmark flag (comma-separated path.Match
 // patterns against the package-qualified benchmark key) into a predicate;
-// an empty flag yields nil (no benchmark is mem-noisy).
-func memNoisyMatcher(flagValue string) (func(key string) bool, error) {
+// an empty flag yields nil (no benchmark matches).
+func globMatcher(flagName, flagValue string) (func(key string) bool, error) {
 	var pats []string
 	for _, p := range strings.Split(flagValue, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			if _, err := path.Match(p, "probe"); err != nil {
-				return nil, fmt.Errorf("-mem-noisy pattern %q: %v", p, err)
+				return nil, fmt.Errorf("%s pattern %q: %v", flagName, p, err)
 			}
 			pats = append(pats, p)
 		}

@@ -15,11 +15,20 @@ import (
 	"go/types"
 )
 
-const (
-	enginePkg      = "repro/internal/core"
-	engineTypeName = "Engine"
-	nodeTypeName   = "Node"
-)
+const enginePkg = "repro/internal/core"
+
+// engineTypeNames are the slab-owning types whose methods can grow a slab:
+// the bit-at-a-time Engine, the path-compressed CompactEngine, and the
+// CompactBuilder (whose Add/Reset grow the engine it wraps).
+var engineTypeNames = map[string]bool{
+	"Engine": true, "CompactEngine": true, "CompactBuilder": true,
+}
+
+// nodeTypeNames are the slab element types; a pointer into either kind of
+// slab shares the relocation hazard.
+var nodeTypeNames = map[string]bool{
+	"Node": true, "CNode": true,
+}
 
 var arenaPtrAnalyzer = &Analyzer{
 	Name: "arenaptr",
@@ -27,11 +36,13 @@ var arenaPtrAnalyzer = &Analyzer{
 	Run:  runArenaPtr,
 }
 
-// growthMethods are the Engine methods that can append to the slab and
-// relocate it.
+// growthMethods are the engine methods that can append to a slab and
+// relocate it (Add and Reset are CompactBuilder's growth paths; the receiver
+// type check keeps unrelated methods of the same name out).
 var growthMethods = map[string]bool{
 	"Alloc": true, "Clone": true, "Ensure": true,
 	"PathInsert": true, "Init": true,
+	"Add": true, "Reset": true,
 }
 
 // isNodeSlabSlice reports whether t is []core.Node[V] — the engine slab (or
@@ -49,10 +60,11 @@ func isNodeSlabSlice(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == nodeTypeName && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
+	return nodeTypeNames[obj.Name()] && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
 }
 
-// isEngineType reports whether t is core.Engine[V] or a pointer to it.
+// isEngineType reports whether t is a slab-owning core type (Engine,
+// CompactEngine, CompactBuilder) or a pointer to one.
 func isEngineType(t types.Type) bool {
 	if t == nil {
 		return false
@@ -65,7 +77,7 @@ func isEngineType(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == engineTypeName && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
+	return engineTypeNames[obj.Name()] && obj.Pkg() != nil && obj.Pkg().Path() == enginePkg
 }
 
 // isSlabElemAddr reports whether e is `&expr` where expr indexes into an

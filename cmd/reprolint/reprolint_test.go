@@ -210,12 +210,20 @@ func TestFactsCollected(t *testing.T) {
 		t.Fatal(err)
 	}
 	facts := collectFacts(pkgs)
-	if !facts.ImmutableTypes["repro/internal/rov.Index"] {
-		t.Errorf("rov.Index not in ImmutableTypes: %v", facts.ImmutableTypes)
+	for _, ty := range []string{
+		"repro/internal/rov.Index",
+		"repro/internal/rov.CompactIndex",
+	} {
+		if !facts.ImmutableTypes[ty] {
+			t.Errorf("%s not in ImmutableTypes: %v", ty, facts.ImmutableTypes)
+		}
 	}
 	for _, fn := range []string{
 		"repro/internal/rov.NewIndex",
+		"repro/internal/rov.NewCompactIndex",
+		"repro/internal/rov.CompactFromIndex",
 		"(*repro/internal/rov.LiveIndex).Snapshot",
+		"(*repro/internal/rov.LiveIndex).CompactSnapshot",
 	} {
 		if !facts.ImmutableFuncs[fn] {
 			t.Errorf("%s not in ImmutableFuncs: %v", fn, facts.ImmutableFuncs)

@@ -2,7 +2,10 @@
 // for the arenaptr check.
 package arenaptr
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/prefix"
+)
 
 var pool = core.NewSlabPool[int](4, 1<<20)
 
@@ -89,3 +92,48 @@ func growthBeforeBinding(e *core.Engine[int]) int {
 }
 
 func consume(n *core.Node[int]) { _ = n }
+
+// The compact engine shares the slab discipline: CNode pointers go stale on
+// CompactEngine/CompactBuilder growth (Alloc, Init, Add, Reset) exactly like
+// Node pointers on Engine growth.
+
+var csink *core.CNode[int]
+
+func compactEscapeReturn(e *core.CompactEngine[int]) *core.CNode[int] {
+	return &e.Nodes[0] // want "escapes via return"
+}
+
+func compactEscapePackageVar(e *core.CompactEngine[int]) {
+	csink = &e.Nodes[0] // want "escapes into package-level variable csink"
+}
+
+func compactHeldAcrossGrowth(e *core.CompactEngine[int], p prefix.Prefix) int {
+	n := &e.Nodes[0] // want "held across a slab-growing call"
+	e.Alloc(p, 7)
+	return n.Val
+}
+
+func compactHeldAcrossBuilderAdd(b *core.CompactBuilder[int], e *core.CompactEngine[int], p prefix.Prefix) int {
+	n := &e.Nodes[0] // want "held across a slab-growing call"
+	b.Add(p, 0)
+	return n.Val
+}
+
+func compactHeldAcrossBuilderReset(b *core.CompactBuilder[int], e *core.CompactEngine[int]) int {
+	n := &e.Nodes[0] // want "held across a slab-growing call"
+	b.Reset(e, 8, prefix.IPv4, 0)
+	return n.Val
+}
+
+// Sanctioned: grow first, address the result, use before the next growth.
+func compactGrowThenAddress(e *core.CompactEngine[int], p prefix.Prefix) {
+	n := &e.Nodes[e.Alloc(p, 3)]
+	n.Val = 9
+}
+
+// Sanctioned: the int32 index survives builder growth; re-index afterwards.
+func compactIndexSurvivesGrowth(b *core.CompactBuilder[int], e *core.CompactEngine[int], p, q prefix.Prefix) int {
+	i := b.Add(p, 1)
+	b.Add(q, 2)
+	return e.Nodes[i].Val
+}

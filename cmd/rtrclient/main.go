@@ -164,8 +164,15 @@ func main() {
 			if a := m.Active(); a >= 0 && a < len(st.Upstreams) {
 				active = st.Upstreams[a].Name
 			}
-			fmt.Fprintf(os.Stderr, "# update: synced to %d via %s, %d VRPs (+%d -%d applied since start; %d switches, %d rebuilds)\n",
-				serial, active, live.Len(), announced.Load(), withdrawn.Load(), st.Switches, st.Rebuilds)
+			// Which structure a validation query would hit right now: the
+			// path-compressed index when the table has been quiet long enough
+			// for a compaction to republish it, the bit trie in between.
+			engine := "bit-trie"
+			if live.CompactSnapshot() != nil {
+				engine = "compact"
+			}
+			fmt.Fprintf(os.Stderr, "# update: synced to %d via %s, %d VRPs (+%d -%d applied since start; %d switches, %d rebuilds; serving from %s index)\n",
+				serial, active, live.Len(), announced.Load(), withdrawn.Load(), st.Switches, st.Rebuilds, engine)
 		case <-sigc:
 			m.Stop()
 			<-runErr

@@ -163,6 +163,23 @@ func main() {
 			u.Name, u.Up, u.Active, u.Failovers, u.Failbacks,
 			u.Supervisor.Dials, u.Supervisor.ResetFallbacks, u.Supervisor.Rebuilds)
 	}
+
+	// 9. The serving read path. Between deltas the live index answers from
+	//    whichever structure its current version carries: the bit trie right
+	//    after an update, the path-compressed compact index once a
+	//    compaction republishes it (this example's table is far below the
+	//    compaction thresholds, so the delta stream leaves it on the bit
+	//    trie). A router pinning its hot path derives the compact index
+	//    explicitly — the same build compaction runs — and validates
+	//    identical answers at a fraction of the per-query latency.
+	engine := "bit-trie"
+	if live.CompactSnapshot() != nil {
+		engine = "compact"
+	}
+	fmt.Printf("router: live index serving from the %s structure (%d VRPs)\n", engine, live.Len())
+	cx := rov.CompactFromIndex(live.Snapshot())
+	fmt.Printf("router: compact validator: hijack %v AS111 -> %v, expired %v AS31283 -> %v\n",
+		hijack, cx.Validate(hijack, 111), expired, cx.Validate(expired, 31283))
 }
 
 // waitUntil polls cond until it holds (or a deadline long past any backoff

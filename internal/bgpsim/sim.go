@@ -81,13 +81,13 @@ func Simulate(t *Topology, anns []Announcement, cfg Config) *Outcome {
 	// announcement O(nodes × rounds) times).
 	var invalid []bool
 	if cfg.VRPs != nil {
-		ix := rov.NewIndex(cfg.VRPs)
+		ix := rov.NewCompactIndex(cfg.VRPs)
 		routes := make([]rov.Route, len(anns))
 		for i, a := range anns {
 			routes[i] = rov.Route{Prefix: a.Prefix, Origin: a.ClaimedOrigin()}
 		}
 		invalid = make([]bool, len(anns))
-		for i, s := range ix.ValidateBatch(routes, nil) {
+		for i, s := range ix.ValidateBatchSorted(routes, nil) {
 			invalid[i] = s == rov.Invalid
 		}
 	}

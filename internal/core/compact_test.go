@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prefix"
+)
+
+// findCompact descends from the root matching full node keys, returning the
+// node whose key is exactly p, or NoChild-1 (-1) when absent.
+func findCompact(e *CompactEngine[bool], p prefix.Prefix) int32 {
+	hi, lo := p.Bits()
+	idx := int32(0)
+	for {
+		n := &e.Nodes[idx]
+		if n.PLen > p.Len() {
+			return -1
+		}
+		nk, err := prefix.Make(p.Family(), n.Hi, n.Lo, n.PLen)
+		if err != nil {
+			return -1
+		}
+		if !nk.Contains(p) {
+			return -1
+		}
+		if n.PLen == p.Len() {
+			return idx
+		}
+		c := n.Children[AddrBit(hi, lo, n.PLen)]
+		if c == NoChild {
+			return -1
+		}
+		idx = c
+	}
+}
+
+func TestCompactBuilderHandCases(t *testing.T) {
+	keys := []string{
+		"10.0.0.0/8",     // plain insert under root
+		"10.0.0.0/16",    // extension of the previous key (d == prev.Len)
+		"10.0.128.0/17",  // deeper extension
+		"10.64.0.0/16",   // splice: diverges mid-edge at /9 inside 10.0/16→...
+		"11.0.0.0/8",     // splice higher up
+		"11.0.0.0/8",     // duplicate: must return the same node
+		"192.168.0.0/16", // far-away sibling
+	}
+	var e CompactEngine[bool]
+	var b CompactBuilder[bool]
+	b.Reset(&e, len(keys), prefix.IPv4, false)
+	idx := map[string]int32{}
+	for _, s := range keys {
+		n := b.Add(prefix.MustParse(s), false)
+		e.Nodes[n].Val = true
+		if old, ok := idx[s]; ok && old != n {
+			t.Fatalf("duplicate Add(%s) returned %d, first returned %d", s, n, old)
+		}
+		idx[s] = n
+	}
+	for s, want := range idx {
+		if got := findCompact(&e, prefix.MustParse(s)); got != want {
+			t.Fatalf("findCompact(%s) = %d, want %d", s, got, want)
+		}
+	}
+	// The 10.0/16 vs 10.64/16 divergence is at /9: a branch node must exist
+	// there, and it must not carry a payload.
+	br := findCompact(&e, prefix.MustParse("10.0.0.0/9"))
+	if br < 0 {
+		t.Fatalf("expected a spliced branch node at 10.0.0.0/9")
+	}
+	if e.Nodes[br].Val {
+		t.Fatalf("branch node at /9 carries a payload")
+	}
+	if e.Nodes[br].Children[0] == NoChild || e.Nodes[br].Children[1] == NoChild {
+		t.Fatalf("branch node at /9 is not binary: %v", e.Nodes[br].Children)
+	}
+}
+
+func TestCompactBuilderOutOfOrderPanics(t *testing.T) {
+	var e CompactEngine[bool]
+	var b CompactBuilder[bool]
+	b.Reset(&e, 4, prefix.IPv4, false)
+	b.Add(prefix.MustParse("10.0.0.0/8"), false)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add of an out-of-order key did not panic")
+		}
+	}()
+	b.Add(prefix.MustParse("9.0.0.0/8"), false)
+}
+
+// TestCompactBuilderRandom builds compact tries from sorted random keys of
+// both families and checks the structural invariants: every key resolves to
+// its node, every non-root node strictly extends its parent, interior nodes
+// without payloads branch, and Walk visits in canonical order.
+func TestCompactBuilderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		fam := prefix.IPv4
+		if trial%2 == 1 {
+			fam = prefix.IPv6
+		}
+		n := 1 + rng.Intn(200)
+		keys := make([]prefix.Prefix, 0, n)
+		for i := 0; i < n; i++ {
+			var l uint8
+			var hi, lo uint64
+			if fam == prefix.IPv4 {
+				l = uint8(rng.Intn(33))
+				hi = uint64(rng.Uint32()) << 32
+			} else {
+				l = uint8(rng.Intn(65)) // cap at /64 like the fuzz harness
+				hi = rng.Uint64()
+			}
+			p, err := prefix.Make(fam, hi, lo, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, p)
+		}
+		prefix.Sort(keys)
+
+		var e CompactEngine[bool]
+		var b CompactBuilder[bool]
+		b.Reset(&e, len(keys), fam, false)
+		for _, p := range keys {
+			e.Nodes[b.Add(p, false)].Val = true
+		}
+		for _, p := range keys {
+			idx := findCompact(&e, p)
+			if idx < 0 {
+				t.Fatalf("trial %d: key %s not found after build", trial, p)
+			}
+			if !e.Nodes[idx].Val {
+				t.Fatalf("trial %d: key %s resolved to an unmarked node", trial, p)
+			}
+		}
+		// Structural invariants over the whole slab, via Walk with an
+		// explicit parent map.
+		parent := make(map[int32]int32, e.Len())
+		seen := 0
+		last := prefix.Prefix{}
+		first := true
+		e.Walk(0, func(idx int32) {
+			seen++
+			nd := &e.Nodes[idx]
+			k, err := prefix.Make(fam, nd.Hi, nd.Lo, nd.PLen)
+			if err != nil {
+				t.Fatalf("trial %d: node %d has invalid key: %v", trial, idx, err)
+			}
+			if !first && k.Compare(last) <= 0 {
+				t.Fatalf("trial %d: Walk out of order: %s after %s", trial, k, last)
+			}
+			first, last = false, k
+			if idx != 0 {
+				pi, ok := parent[idx]
+				if !ok {
+					t.Fatalf("trial %d: node %d reached without a parent", trial, idx)
+				}
+				pd := &e.Nodes[pi]
+				pk, _ := prefix.Make(fam, pd.Hi, pd.Lo, pd.PLen)
+				if pk.Len() >= k.Len() || !pk.Contains(k) {
+					t.Fatalf("trial %d: node %s does not extend parent %s", trial, k, pk)
+				}
+				if !nd.Val && (nd.Children[0] == NoChild || nd.Children[1] == NoChild) {
+					t.Fatalf("trial %d: payload-free interior node %s is not a branch point", trial, k)
+				}
+			}
+			for bit := 0; bit < 2; bit++ {
+				if c := nd.Children[bit]; c != NoChild {
+					parent[c] = idx
+				}
+			}
+		})
+		if seen != e.Len() {
+			t.Fatalf("trial %d: Walk visited %d of %d nodes", trial, seen, e.Len())
+		}
+	}
+}

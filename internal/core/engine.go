@@ -226,39 +226,41 @@ func DiffWalk[V any](ea, eb *Engine[V], rootA, rootB int32, at prefix.Prefix, fn
 	}
 }
 
-// SlabPool recycles Engine slabs of one payload type, bounded two ways:
-// at most maxSlabs slabs are retained, and slabs whose capacity exceeds
-// maxCap nodes are dropped rather than pooled. The bounds keep the pool's
-// resident memory O(maxSlabs · maxCap · sizeof(Node[V])) even after a
-// full-deployment run releases an outsized trie — the previous sync.Pool
-// kept every released slab alive until the next GC cycle.
-type SlabPool[V any] struct {
-	mu       sync.Mutex
-	slabs    [][]Node[V]
-	maxSlabs int
-	maxCap   int
+// BufPool recycles flat scratch buffers of one element type, bounded two
+// ways: at most maxBufs buffers are retained, and buffers whose capacity
+// exceeds maxCap elements are dropped rather than pooled. The bounds keep
+// the pool's resident memory O(maxBufs · maxCap · sizeof(T)) even after a
+// full-deployment run releases an outsized buffer — a sync.Pool would keep
+// every released buffer alive until the next GC cycle. SlabPool is this
+// pool instantiated for engine slabs; builders use it directly for their
+// scratch arrays (rov's per-build terminal-index scratch).
+type BufPool[T any] struct {
+	mu      sync.Mutex
+	bufs    [][]T
+	maxBufs int
+	maxCap  int
 }
 
-// NewSlabPool returns a pool retaining at most maxSlabs slabs of at most
-// maxCap nodes each.
-func NewSlabPool[V any](maxSlabs, maxCap int) *SlabPool[V] {
-	return &SlabPool[V]{maxSlabs: maxSlabs, maxCap: maxCap}
+// NewBufPool returns a pool retaining at most maxBufs buffers of at most
+// maxCap elements each.
+func NewBufPool[T any](maxBufs, maxCap int) *BufPool[T] {
+	return &BufPool[T]{maxBufs: maxBufs, maxCap: maxCap}
 }
 
-// Get pops a pooled slab with length 0. It returns nil when the pool is
-// empty or the popped slab's capacity is below hint — the undersized slab is
-// dropped (one slab's worth of GC churn) so the caller allocates at full
-// size once instead of growing repeatedly.
-func (p *SlabPool[V]) Get(hint int) []Node[V] {
+// Get pops a pooled buffer with length 0. It returns nil when the pool is
+// empty or the popped buffer's capacity is below hint — the undersized
+// buffer is dropped (one buffer's worth of GC churn) so the caller allocates
+// at full size once instead of growing repeatedly.
+func (p *BufPool[T]) Get(hint int) []T {
 	p.mu.Lock()
-	n := len(p.slabs)
+	n := len(p.bufs)
 	if n == 0 {
 		p.mu.Unlock()
 		return nil
 	}
-	s := p.slabs[n-1]
-	p.slabs[n-1] = nil
-	p.slabs = p.slabs[:n-1]
+	s := p.bufs[n-1]
+	p.bufs[n-1] = nil
+	p.bufs = p.bufs[:n-1]
 	p.mu.Unlock()
 	if cap(s) < hint {
 		return nil
@@ -266,22 +268,44 @@ func (p *SlabPool[V]) Get(hint int) []Node[V] {
 	return s[:0]
 }
 
-// Put offers a slab back to the pool. Oversized slabs and slabs beyond the
-// retention bound are dropped.
-func (p *SlabPool[V]) Put(s []Node[V]) {
+// Put offers a buffer back to the pool. Oversized buffers and buffers beyond
+// the retention bound are dropped.
+func (p *BufPool[T]) Put(s []T) {
 	if cap(s) == 0 || cap(s) > p.maxCap {
 		return
 	}
 	p.mu.Lock()
-	if len(p.slabs) < p.maxSlabs {
-		p.slabs = append(p.slabs, s[:0])
+	if len(p.bufs) < p.maxBufs {
+		p.bufs = append(p.bufs, s[:0])
 	}
 	p.mu.Unlock()
 }
 
-// Size returns the number of slabs currently retained.
-func (p *SlabPool[V]) Size() int {
+// Size returns the number of buffers currently retained.
+func (p *BufPool[T]) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.slabs)
+	return len(p.bufs)
 }
+
+// SlabPool recycles Engine slabs of one payload type: a BufPool over
+// Node[V], kept as its own named type because the slab is the engine's
+// load-bearing allocation and call sites read better for it.
+type SlabPool[V any] struct {
+	p BufPool[Node[V]]
+}
+
+// NewSlabPool returns a pool retaining at most maxSlabs slabs of at most
+// maxCap nodes each.
+func NewSlabPool[V any](maxSlabs, maxCap int) *SlabPool[V] {
+	return &SlabPool[V]{p: BufPool[Node[V]]{maxBufs: maxSlabs, maxCap: maxCap}}
+}
+
+// Get pops a pooled slab with length 0; see BufPool.Get for the bounds.
+func (p *SlabPool[V]) Get(hint int) []Node[V] { return p.p.Get(hint) }
+
+// Put offers a slab back to the pool; see BufPool.Put for the bounds.
+func (p *SlabPool[V]) Put(s []Node[V]) { p.p.Put(s) }
+
+// Size returns the number of slabs currently retained.
+func (p *SlabPool[V]) Size() int { return p.p.Size() }

@@ -72,6 +72,49 @@ func BenchmarkValidateBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkCompactBuild measures the compact build from a sorted set: the
+// one-pass builder plus aggregation and stride-table fill — the price
+// LiveIndex compaction pays to republish the fast read path.
+func BenchmarkCompactBuild(b *testing.B) {
+	s := benchSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx := NewCompactIndex(s)
+		if cx.Len() != s.Len() {
+			b.Fatal("short compact index")
+		}
+	}
+}
+
+// BenchmarkCompactValidateBatch measures compact batch throughput over the
+// same 50k-VRP table and 8192-route batch as BenchmarkValidateBatch, plus
+// the sorted variant whose bucket pass trades a permutation allocation for
+// slab locality.
+func BenchmarkCompactValidateBatch(b *testing.B) {
+	cx := NewCompactIndex(benchSet())
+	routes := benchRoutes(8192)
+	dst := make([]State, len(routes))
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = cx.ValidateBatch(routes, dst)
+		}
+	})
+	b.Run("sorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = cx.ValidateBatchSorted(routes, dst)
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = cx.ValidateBatchParallel(routes, dst, 4)
+		}
+	})
+}
+
 // BenchmarkLiveApply measures one announce+withdraw delta pair against a
 // 50k-VRP live table: cost must track the delta, not the table.
 func BenchmarkLiveApply(b *testing.B) {

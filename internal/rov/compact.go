@@ -1,0 +1,543 @@
+package rov
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// This file is the path-compressed serving index: the same RFC 6811 answers
+// as Index, at a fraction of the memory traffic. Two ideas compose:
+//
+//  1. Path compression (core.CompactEngine): a node exists only at branch
+//     points and VRP-carrying prefixes, and stores its full key, so one
+//     xor-shift compare verifies an entire compressed edge. A lookup hops
+//     O(branch points), not O(prefix bits).
+//
+//  2. A per-family stride table + aggregated spans: the top of a real VRP
+//     table is maximally branchy (at 50k random prefixes essentially every
+//     node above /14 has two children), so even a compressed walk pays one
+//     dependent cache miss per level there. The stride table replaces those
+//     levels with a single indexed load: slot s holds the subtree entry
+//     point for addresses whose top `stride` bits equal s. And each node's
+//     span holds not its own entries but the *aggregate* — every entry on
+//     its root path, ancestors first, its own entries (recognizable as the
+//     tail with plen == node.PLen) last — so the walk never collects along
+//     the way: wherever it stops, one contiguous scan of the stop node's
+//     span is the full RFC 6811 candidate set. Entries carry their
+//     originating prefix length, and the scan skips those longer than the
+//     query — exactly the non-covering ancestors-of-the-slot case that
+//     arises for queries shorter than the stride.
+//
+// A CompactIndex is built in one linear pass over a canonically sorted VRP
+// stream (Index.AppendVRPs emits one; rpki.Set stores one) and is immutable
+// afterwards. LiveIndex keeps the bit-at-a-time trie for O(delta) updates
+// and republishes a CompactIndex at every compaction point.
+
+// centry is one VRP payload in the aggregated entry slab. plen is the
+// originating prefix's length: aggregated spans mix entries from the whole
+// root path, and a query shorter than the slot stride must skip entries
+// whose prefix is longer than (i.e. does not cover) the query.
+type centry struct {
+	plen      uint8
+	maxLength uint8
+	as        rpki.ASN
+}
+
+// cspan is the compact engine payload: the node's aggregated entries live at
+// CompactIndex.entries[off : off+n]. The zero cspan is empty.
+type cspan struct {
+	off int32
+	n   int32
+}
+
+// cslot is one stride-table slot: the aggregated span of the deepest trie
+// prefix of length <= stride covering the slot (serves queries shorter than
+// the stride, and slots with no deeper subtree), and the slab index of the
+// slot's subtree entry point — the shallowest node of length >= stride whose
+// top stride bits equal the slot — or 0 when none exists.
+type cslot struct {
+	span cspan
+	root int32
+}
+
+// famCompact is one address family's compact structure. shift is
+// 64 - stride, precomputed for the hot path. A family with no VRPs stays
+// zero (slots == nil) and answers NotFound.
+type famCompact struct {
+	eng    core.CompactEngine[cspan]
+	slots  []cslot
+	shift  uint8
+	stride uint8
+}
+
+// strideCutoff selects the stride: families at paper scale (>= 4096 VRPs)
+// take a 16-bit table (65536 slots, ~0.8MB — one load replaces the 14+
+// branchy top levels), small tables an 8-bit one (256 slots).
+const strideCutoff = 4096
+
+// CompactIndex answers RFC 6811 queries in O(branch points below the stride
+// table). Build one with NewCompactIndex or CompactFromIndex; a CompactIndex
+// is immutable and safe for concurrent readers. It has no update path at
+// all — LiveIndex pairs it with the bit-trie Index, republishing a fresh
+// compact snapshot at each compaction.
+//
+//repro:immutable
+type CompactIndex struct {
+	fams    [2]famCompact // famSlot order: IPv4, IPv6
+	entries []centry      // shared aggregated value slab
+	size    int
+}
+
+// NewCompactIndex builds a compact validation index over the set's VRPs.
+// The returned index is published: treat it as frozen from this point on.
+//
+//repro:immutable
+func NewCompactIndex(s *rpki.Set) *CompactIndex {
+	return newCompactFromVRPs(s.VRPs())
+}
+
+// CompactFromIndex builds the compact equivalent of ix in a single linear
+// pass over its canonical walk — the compaction-time path: the bit-trie is
+// walked once anyway, and its AppendVRPs order is exactly the sorted stream
+// the builder wants, so no re-sort happens.
+//
+//repro:immutable
+func CompactFromIndex(ix *Index) *CompactIndex {
+	return newCompactFromVRPs(ix.AppendVRPs(make([]rpki.VRP, 0, ix.Len())))
+}
+
+// newCompactFromVRPs builds the compact index. The input is not retained.
+// Canonically sorted input (the Set / AppendVRPs case) is detected and used
+// in place; anything else is partitioned and stable-sorted per family, so
+// per-prefix entry order still follows input order, matching Index's spans.
+func newCompactFromVRPs(vrps []rpki.VRP) *CompactIndex {
+	cx := &CompactIndex{size: len(vrps)}
+	var byFam [2][]rpki.VRP
+	if split, ok := familySortedSplit(vrps); ok {
+		byFam[0], byFam[1] = vrps[:split], vrps[split:]
+	} else {
+		var counts [2]int
+		for _, v := range vrps {
+			counts[famSlot(v.Prefix.Family())]++
+		}
+		for slot := range byFam {
+			byFam[slot] = make([]rpki.VRP, 0, counts[slot])
+		}
+		for _, v := range vrps {
+			slot := famSlot(v.Prefix.Family())
+			byFam[slot] = append(byFam[slot], v)
+		}
+		for slot := range byFam {
+			// Stable so per-prefix entry order follows input order; the
+			// generic sort moves typed elements directly, where
+			// sort.SliceStable's reflected swaps dominated the whole build.
+			slices.SortStableFunc(byFam[slot], func(a, b rpki.VRP) int {
+				return a.Prefix.Compare(b.Prefix)
+			})
+		}
+	}
+	for slot := range cx.fams {
+		buildFamCompact(&cx.fams[slot], slotFamily(slot), byFam[slot], &cx.entries)
+	}
+	return cx
+}
+
+// familySortedSplit reports whether vrps is globally in canonical prefix
+// order (all IPv4 before all IPv6, each family sorted) and, if so, the index
+// of the first IPv6 VRP.
+func familySortedSplit(vrps []rpki.VRP) (int, bool) {
+	split := len(vrps)
+	for i, v := range vrps {
+		if famSlot(v.Prefix.Family()) == 1 {
+			split = i
+			break
+		}
+	}
+	for i := 1; i < len(vrps); i++ {
+		a, b := vrps[i-1].Prefix, vrps[i].Prefix
+		if famSlot(a.Family()) == famSlot(b.Family()) && a.Compare(b) > 0 {
+			return 0, false
+		}
+		if i >= split && famSlot(b.Family()) == 0 {
+			return 0, false // IPv4 after the IPv6 block
+		}
+	}
+	return split, true
+}
+
+// buildFamCompact builds one family's trie, aggregated spans, and stride
+// table from its canonically sorted VRPs, appending entries to the shared
+// slab. Three passes: builder insert (collecting per-node own-entry spans
+// into a scratch slab), a pre-order aggregation walk that materializes each
+// node's span as parent-aggregate + own entries, and a pre-order slot fill.
+func buildFamCompact(f *famCompact, fam prefix.Family, vrps []rpki.VRP, entries *[]centry) {
+	if len(vrps) == 0 {
+		return
+	}
+
+	// Pass 1: compact trie plus own-entry spans, exactly the two-pass span
+	// construction of newIndexFromVRPs, but over branch-point nodes only.
+	var b core.CompactBuilder[cspan]
+	b.Reset(&f.eng, 2*len(vrps), fam, cspan{})
+	terms := termsScratch.Get(len(vrps))
+	if terms == nil {
+		terms = make([]int32, 0, len(vrps))
+	}
+	defer func() { termsScratch.Put(terms) }()
+	for _, v := range vrps {
+		idx := b.Add(v.Prefix, cspan{})
+		f.eng.Nodes[idx].Val.n++
+		terms = append(terms, idx)
+	}
+	own := make([]centry, len(vrps))
+	off := int32(0)
+	for j := range f.eng.Nodes {
+		sp := &f.eng.Nodes[j].Val
+		sp.off = off
+		off += sp.n
+		sp.n = 0 // reused as the fill cursor below
+	}
+	for i, v := range vrps {
+		sp := &f.eng.Nodes[terms[i]].Val
+		own[sp.off+sp.n] = centry{plen: v.Prefix.Len(), maxLength: v.MaxLength, as: v.AS}
+		sp.n++
+	}
+
+	// Size the shared slab before aggregating: each node's final span is as
+	// long as the entries on its root path, so the total is a cheap pre-order
+	// accumulation. Reserving it up front makes pass 2 append into place
+	// instead of repeatedly relocating a slab that ends up many times the
+	// VRP count.
+	type cntFrame struct {
+		idx    int32
+		parent int32
+	}
+	total := 0
+	cnt := make([]cntFrame, 1, 130)
+	cnt[0] = cntFrame{idx: 0}
+	for len(cnt) > 0 {
+		fr := cnt[len(cnt)-1]
+		cnt = cnt[:len(cnt)-1]
+		agg := fr.parent + f.eng.Nodes[fr.idx].Val.n
+		total += int(agg)
+		for bit := 1; bit >= 0; bit-- {
+			if c := f.eng.Nodes[fr.idx].Children[bit]; c != core.NoChild {
+				cnt = append(cnt, cntFrame{idx: c, parent: agg})
+			}
+		}
+	}
+	*entries = slices.Grow(*entries, total)
+
+	// Pass 2: aggregation. Pre-order DFS; each node's final span is its
+	// parent's aggregate followed by its own entries, so ancestors come
+	// first and the node's own entries are the tail with plen == PLen.
+	// Parent aggregates are already materialized in the shared slab when the
+	// children are visited (self-append reads the pre-relocation backing).
+	type aggFrame struct {
+		idx    int32
+		parent cspan
+	}
+	stack := make([]aggFrame, 1, 130)
+	stack[0] = aggFrame{idx: 0}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ownSp := f.eng.Nodes[fr.idx].Val
+		aggOff := int32(len(*entries))
+		*entries = append(*entries, (*entries)[fr.parent.off:fr.parent.off+fr.parent.n]...)
+		*entries = append(*entries, own[ownSp.off:ownSp.off+ownSp.n]...)
+		agg := cspan{off: aggOff, n: fr.parent.n + ownSp.n}
+		f.eng.Nodes[fr.idx].Val = agg
+		for bit := 1; bit >= 0; bit-- {
+			if c := f.eng.Nodes[fr.idx].Children[bit]; c != core.NoChild {
+				stack = append(stack, aggFrame{idx: c, parent: agg})
+			}
+		}
+	}
+
+	// Pass 3: the stride table. Pre-order DFS again: nodes above the stride
+	// paint their slot range with their aggregate (children overwrite their
+	// subranges, leaving each slot with its deepest covering aggregate);
+	// the first node at or below the stride becomes the slot's subtree
+	// entry point, and its subtree — which by the patricia LCA argument
+	// cannot reach any other slot — is pruned.
+	f.stride = 8
+	if len(vrps) >= strideCutoff {
+		f.stride = 16
+	}
+	f.shift = 64 - f.stride
+	f.slots = make([]cslot, 1<<f.stride)
+	walk := make([]int32, 1, 130)
+	walk[0] = 0
+	for len(walk) > 0 {
+		idx := walk[len(walk)-1]
+		walk = walk[:len(walk)-1]
+		nd := &f.eng.Nodes[idx]
+		switch {
+		case nd.PLen < f.stride:
+			base := nd.Hi >> f.shift
+			count := uint64(1) << (f.stride - nd.PLen)
+			for s := base; s < base+count; s++ {
+				f.slots[s].span = nd.Val
+			}
+			for bit := 1; bit >= 0; bit-- {
+				if c := nd.Children[bit]; c != core.NoChild {
+					walk = append(walk, c)
+				}
+			}
+		case nd.PLen == f.stride:
+			s := nd.Hi >> f.shift
+			f.slots[s].span = nd.Val
+			f.slots[s].root = idx
+		default: // PLen > stride: first crossing node wins the slot
+			s := nd.Hi >> f.shift
+			if f.slots[s].root == core.NoChild {
+				f.slots[s].root = idx
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed VRPs.
+func (cx *CompactIndex) Len() int { return cx.size }
+
+// validateCompact classifies (p, origin) against one family's compact
+// structure: one stride-table load, a compressed-edge descent of the slot's
+// subtree, and one contiguous scan of the stop node's aggregated span.
+func (f *famCompact) validateCompact(entries []centry, p prefix.Prefix, origin rpki.ASN) State {
+	if f.slots == nil {
+		return NotFound
+	}
+	qhi, qlo := p.Bits()
+	qlen := p.Len()
+	sl := &f.slots[qhi>>f.shift]
+	sp := sl.span
+	if idx := sl.root; idx != core.NoChild {
+		nodes := f.eng.Nodes
+		n := &nodes[idx]
+		for n.PLen <= qlen && keyMatch(n.Hi, n.Lo, qhi, qlo, n.PLen) {
+			sp = n.Val
+			c := n.Children[core.AddrBit(qhi, qlo, n.PLen)]
+			if c == core.NoChild {
+				break
+			}
+			n = &nodes[c]
+		}
+	}
+	es := entries[sp.off : sp.off+sp.n]
+	if qlen >= f.stride {
+		// Every aggregated entry covers the query: slot spans hold only
+		// entries with plen <= stride, and descent spans only entries with
+		// plen <= node.PLen <= qlen. The scan needs no per-entry filter.
+		for _, e := range es {
+			if e.as == origin && qlen <= e.maxLength {
+				return Valid
+			}
+		}
+		if len(es) > 0 {
+			return Invalid
+		}
+		return NotFound
+	}
+	state := NotFound
+	for _, e := range es {
+		if e.plen > qlen {
+			continue // longer than the query: does not cover it
+		}
+		if e.as == origin && qlen <= e.maxLength {
+			return Valid
+		}
+		state = Invalid
+	}
+	return state
+}
+
+// keyMatch reports whether the query address (qhi, qlo) starts with the
+// plen-bit node key (nhi, nlo) — the skip-edge predicate: one xor-shift
+// verifies every compressed bit at once. Shift counts >= the width yield 0
+// in Go, so plen 0 and the 64/128 boundaries need no special cases.
+func keyMatch(nhi, nlo, qhi, qlo uint64, plen uint8) bool {
+	if plen <= 64 {
+		return (nhi^qhi)>>(64-plen) == 0
+	}
+	return nhi == qhi && (nlo^qlo)>>(128-plen) == 0
+}
+
+// Validate classifies route (p, origin) per RFC 6811. Zero allocations.
+func (cx *CompactIndex) Validate(p prefix.Prefix, origin rpki.ASN) State {
+	if !p.IsValid() {
+		return NotFound
+	}
+	return cx.fams[famSlot(p.Family())].validateCompact(cx.entries, p, origin)
+}
+
+// ValidateRoute is a convenience wrapper over (prefix, origin) pairs
+// expressed as a VRP-shaped route.
+func (cx *CompactIndex) ValidateRoute(p prefix.Prefix, origin rpki.ASN) (State, bool) {
+	s := cx.Validate(p, origin)
+	return s, s == Valid
+}
+
+// ValidateBatch classifies every route in one pass, writing states into dst
+// (grown if needed) and returning it. dst[i] corresponds to routes[i].
+func (cx *CompactIndex) ValidateBatch(routes []Route, dst []State) []State {
+	if cap(dst) < len(routes) {
+		dst = make([]State, len(routes))
+	} else {
+		dst = dst[:len(routes)]
+	}
+	f4, f6 := &cx.fams[0], &cx.fams[1]
+	entries := cx.entries
+	for i, q := range routes {
+		switch q.Prefix.Family() {
+		case prefix.IPv4:
+			dst[i] = f4.validateCompact(entries, q.Prefix, q.Origin)
+		case prefix.IPv6:
+			dst[i] = f6.validateCompact(entries, q.Prefix, q.Origin)
+		default:
+			dst[i] = NotFound
+		}
+	}
+	return dst
+}
+
+// sortBits is the radix width of ValidateBatchSorted's bucket pass: routes
+// are grouped by family and top address bits so the batch walks the stride
+// table and node slab region by region instead of hopping randomly. 11 bits
+// keeps the counter array at 16KB — resident in L1 while counting.
+const sortBits = 11
+
+// sortedBatchMin is the batch size below which the bucket pass costs more
+// than the locality it buys; smaller batches take the plain loop.
+const sortedBatchMin = 256
+
+// ValidateBatchSorted is ValidateBatch with a sort-by-prefix pass: a two-pass
+// counting sort on (family, top address bits) produces a permutation, and
+// validation runs in permuted order while results land at their original
+// positions. Batches over a table larger than the cache hierarchy touch each
+// slab region once instead of per route. The output is identical to
+// ValidateBatch; the permutation is the one extra allocation.
+func (cx *CompactIndex) ValidateBatchSorted(routes []Route, dst []State) []State {
+	if len(routes) < sortedBatchMin {
+		return cx.ValidateBatch(routes, dst)
+	}
+	if cap(dst) < len(routes) {
+		dst = make([]State, len(routes))
+	} else {
+		dst = dst[:len(routes)]
+	}
+	key := func(q Route) int32 {
+		hi, _ := q.Prefix.Bits()
+		k := int32(hi >> (64 - sortBits))
+		if famSlot(q.Prefix.Family()) == 1 {
+			k |= 1 << sortBits
+		}
+		return k
+	}
+	var starts [2 << sortBits]int32
+	for _, q := range routes {
+		starts[key(q)]++
+	}
+	sum := int32(0)
+	for i := range starts {
+		c := starts[i]
+		starts[i] = sum
+		sum += c
+	}
+	perm := make([]int32, len(routes))
+	for i, q := range routes {
+		k := key(q)
+		perm[starts[k]] = int32(i)
+		starts[k]++
+	}
+	f4, f6 := &cx.fams[0], &cx.fams[1]
+	entries := cx.entries
+	for _, ri := range perm {
+		q := routes[ri]
+		switch q.Prefix.Family() {
+		case prefix.IPv4:
+			dst[ri] = f4.validateCompact(entries, q.Prefix, q.Origin)
+		case prefix.IPv6:
+			dst[ri] = f6.validateCompact(entries, q.Prefix, q.Origin)
+		default:
+			dst[ri] = NotFound
+		}
+	}
+	return dst
+}
+
+// ValidateBatchParallel is ValidateBatch fanned out over a fixed pool of
+// min(workers, blocks) goroutines draining route blocks from a channel — the
+// same worker-pool shape as Index.ValidateBatchParallel. Workers write
+// disjoint dst ranges, so the result is identical to the serial batch.
+func (cx *CompactIndex) ValidateBatchParallel(routes []Route, dst []State, workers int) []State {
+	if cap(dst) < len(routes) {
+		dst = make([]State, len(routes))
+	} else {
+		dst = dst[:len(routes)]
+	}
+	blocks := (len(routes) + batchBlock - 1) / batchBlock
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers < 2 {
+		return cx.ValidateBatch(routes, dst)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lo := range jobs {
+				hi := min(lo+batchBlock, len(routes))
+				cx.ValidateBatch(routes[lo:hi], dst[lo:hi])
+			}
+		}()
+	}
+	for lo := 0; lo < len(routes); lo += batchBlock {
+		jobs <- lo
+	}
+	close(jobs)
+	wg.Wait()
+	return dst
+}
+
+// AppendVRPs appends the indexed VRP set to dst in per-family canonical
+// prefix order and returns the extended slice — the same stream, in the same
+// order, as Index.AppendVRPs over the same table. Own entries are the
+// aggregate tail whose plen equals the node's key length (inherited entries
+// are strictly shorter).
+func (cx *CompactIndex) AppendVRPs(dst []rpki.VRP) []rpki.VRP {
+	for slot := range cx.fams {
+		f := &cx.fams[slot]
+		if len(f.eng.Nodes) == 0 {
+			continue
+		}
+		fam := slotFamily(slot)
+		f.eng.Walk(0, func(idx int32) {
+			nd := &f.eng.Nodes[idx]
+			sp := nd.Val
+			es := cx.entries[sp.off : sp.off+sp.n]
+			start := len(es)
+			for start > 0 && es[start-1].plen == nd.PLen {
+				start--
+			}
+			if start == len(es) {
+				return
+			}
+			p, err := prefix.Make(fam, nd.Hi, nd.Lo, nd.PLen)
+			if err != nil {
+				panic(err) // unreachable: node keys are valid prefixes
+			}
+			for _, e := range es[start:] {
+				dst = append(dst, rpki.VRP{Prefix: p, MaxLength: e.maxLength, AS: e.as})
+			}
+		})
+	}
+	return dst
+}

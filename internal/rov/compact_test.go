@@ -1,0 +1,231 @@
+package rov
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/prefix"
+	"repro/internal/rpki"
+)
+
+// probesFor builds a query set that exercises every compact-path shape for
+// the given table: each VRP's exact prefix, its parent (shorter than the
+// VRP — the aggregate-filter case), a deeper child, random probes, and the
+// degenerate /0 query of each family.
+func probesFor(rng *rand.Rand, vrps []rpki.VRP) []Route {
+	var qs []Route
+	for _, v := range vrps {
+		as := rpki.ASN(rng.Intn(6))
+		qs = append(qs, Route{Prefix: v.Prefix, Origin: v.AS}, Route{Prefix: v.Prefix, Origin: as})
+		if v.Prefix.Len() > 0 {
+			qs = append(qs, Route{Prefix: v.Prefix.Parent(), Origin: v.AS})
+		}
+		if v.Prefix.Len() < v.Prefix.MaxLen() {
+			c := v.Prefix.Child(uint8(rng.Intn(2)))
+			qs = append(qs, Route{Prefix: c, Origin: v.AS}, Route{Prefix: c, Origin: as})
+		}
+	}
+	for i := 0; i < 200; i++ {
+		qs = append(qs, randomProbe(rng))
+	}
+	qs = append(qs,
+		Route{Prefix: prefix.MustParse("0.0.0.0/0"), Origin: 1},
+		Route{Prefix: prefix.MustParse("::/0"), Origin: 1})
+	return qs
+}
+
+// checkCompactAgainst asserts cx answers every probe exactly like ix and ref.
+func checkCompactAgainst(t *testing.T, tag string, cx *CompactIndex, ix *Index, ref *Reference, qs []Route) {
+	t.Helper()
+	for _, q := range qs {
+		got := cx.Validate(q.Prefix, q.Origin)
+		if want := ix.Validate(q.Prefix, q.Origin); got != want {
+			t.Fatalf("%s: compact.Validate(%s, AS%d) = %v, index says %v", tag, q.Prefix, q.Origin, got, want)
+		}
+		if want := ref.Validate(q.Prefix, q.Origin); got != want {
+			t.Fatalf("%s: compact.Validate(%s, AS%d) = %v, reference says %v", tag, q.Prefix, q.Origin, got, want)
+		}
+	}
+}
+
+// TestCompactIndexMatchesIndex pits the compact index against the arena
+// Index and the linear Reference over randomized IPv4+IPv6 tables, built
+// both from the normalized set and from the Index's canonical walk.
+func TestCompactIndexMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		var vrps []rpki.VRP
+		for i := 0; i < rng.Intn(120); i++ {
+			vrps = append(vrps, randomVRP(rng))
+		}
+		set := rpki.NewSet(vrps)
+		ix := NewIndex(set)
+		ref := NewReference(set)
+		qs := probesFor(rng, set.VRPs())
+		checkCompactAgainst(t, "fromSet", NewCompactIndex(set), ix, ref, qs)
+		checkCompactAgainst(t, "fromIndex", CompactFromIndex(ix), ix, ref, qs)
+	}
+}
+
+// TestCompactIndexUnsortedInput feeds newCompactFromVRPs a shuffled,
+// duplicate-free VRP list (the ResetTo shape) and checks answers and the
+// exported stream both match an Index built from the same list.
+func TestCompactIndexUnsortedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	seen := map[rpki.VRP]struct{}{}
+	var vrps []rpki.VRP
+	for len(vrps) < 300 {
+		v := randomVRP(rng)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		vrps = append(vrps, v)
+	}
+	rng.Shuffle(len(vrps), func(i, j int) { vrps[i], vrps[j] = vrps[j], vrps[i] })
+	ix := newIndexFromVRPs(vrps)
+	cx := newCompactFromVRPs(vrps)
+	if cx.Len() != ix.Len() {
+		t.Fatalf("compact Len %d, index Len %d", cx.Len(), ix.Len())
+	}
+	checkCompactAgainst(t, "unsorted", cx, ix, NewReference(rpki.NewSet(vrps)), probesFor(rng, vrps))
+	got := cx.AppendVRPs(nil)
+	want := ix.AppendVRPs(nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendVRPs mismatch:\ncompact: %v\nindex:   %v", got, want)
+	}
+}
+
+// TestCompactIndexStride16 crosses the stride cutoff (a 65536-slot table)
+// with a dense random IPv4 load and checks against the Index on queries that
+// include sub-stride lengths, so both the wide slot table and the
+// plen-filtered aggregate scan are exercised at scale.
+func TestCompactIndexStride16(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var vrps []rpki.VRP
+	for i := 0; i < strideCutoff+2000; i++ {
+		l := uint8(6 + rng.Intn(27))
+		p, err := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml := l + uint8(rng.Intn(int(32-l)+1))
+		vrps = append(vrps, rpki.VRP{Prefix: p, MaxLength: ml, AS: rpki.ASN(rng.Intn(500))})
+	}
+	set := rpki.NewSet(vrps)
+	ix := NewIndex(set)
+	cx := NewCompactIndex(set)
+	if got := cx.fams[0].stride; got != 16 {
+		t.Fatalf("IPv4 stride = %d, want 16", got)
+	}
+	for i := 0; i < 20000; i++ {
+		l := uint8(rng.Intn(33))
+		p, err := prefix.Make(prefix.IPv4, rng.Uint64()&0xffffffff00000000, 0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := rpki.ASN(rng.Intn(500))
+		if got, want := cx.Validate(p, as), ix.Validate(p, as); got != want {
+			t.Fatalf("compact.Validate(%s, AS%d) = %v, index says %v", p, as, got, want)
+		}
+	}
+}
+
+// TestCompactIndexEdgeCases covers the table shapes the stride/aggregate
+// machinery treats specially: empty tables, one-family tables, /0 and
+// maximum-length VRPs, and invalid query prefixes.
+func TestCompactIndexEdgeCases(t *testing.T) {
+	empty := NewCompactIndex(rpki.NewSet(nil))
+	if got := empty.Validate(prefix.MustParse("10.0.0.0/8"), 1); got != NotFound {
+		t.Fatalf("empty table: %v, want NotFound", got)
+	}
+	if got := empty.Validate(prefix.Prefix{}, 1); got != NotFound {
+		t.Fatalf("invalid prefix: %v, want NotFound", got)
+	}
+	if n := len(empty.AppendVRPs(nil)); n != 0 {
+		t.Fatalf("empty AppendVRPs returned %d VRPs", n)
+	}
+
+	vrps := []rpki.VRP{
+		{Prefix: prefix.MustParse("0.0.0.0/0"), MaxLength: 8, AS: 64500},
+		{Prefix: prefix.MustParse("10.0.0.0/8"), MaxLength: 8, AS: 64501},
+		{Prefix: prefix.MustParse("10.0.0.0/8"), MaxLength: 24, AS: 64502},
+		{Prefix: prefix.MustParse("10.1.2.3/32"), MaxLength: 32, AS: 64503},
+		{Prefix: prefix.MustParse("2001:db8::/32"), MaxLength: 48, AS: 64504},
+		{Prefix: prefix.MustParse("2001:db8::1/128"), MaxLength: 128, AS: 64505},
+	}
+	set := rpki.NewSet(vrps)
+	cx := NewCompactIndex(set)
+	ix := NewIndex(set)
+	ref := NewReference(set)
+	queries := []Route{
+		{Prefix: prefix.MustParse("0.0.0.0/0"), Origin: 64500},   // matches the /0 VRP
+		{Prefix: prefix.MustParse("7.0.0.0/8"), Origin: 64500},   // covered only by /0
+		{Prefix: prefix.MustParse("7.0.0.0/9"), Origin: 64500},   // beyond /0's maxLength
+		{Prefix: prefix.MustParse("10.0.0.0/6"), Origin: 64501},  // shorter than the /8 VRPs
+		{Prefix: prefix.MustParse("10.0.0.0/8"), Origin: 64501},  // exact
+		{Prefix: prefix.MustParse("10.1.2.3/32"), Origin: 64503}, // host route
+		{Prefix: prefix.MustParse("10.1.2.2/31"), Origin: 64503}, // parent of a /32
+		{Prefix: prefix.MustParse("10.9.0.0/16"), Origin: 64502}, // within maxLength 24
+		{Prefix: prefix.MustParse("2001:db8::1/128"), Origin: 64505},
+		{Prefix: prefix.MustParse("2001:db8::/33"), Origin: 64504},
+		{Prefix: prefix.MustParse("2001:db8::/31"), Origin: 64504}, // shorter than every v6 VRP
+		{Prefix: prefix.MustParse("::/0"), Origin: 64504},
+		{Prefix: prefix.MustParse("8000::/1"), Origin: 64504},
+	}
+	for _, q := range queries {
+		got := cx.Validate(q.Prefix, q.Origin)
+		if want := ix.Validate(q.Prefix, q.Origin); got != want {
+			t.Fatalf("compact.Validate(%s, AS%d) = %v, index says %v", q.Prefix, q.Origin, got, want)
+		}
+		if want := ref.Validate(q.Prefix, q.Origin); got != want {
+			t.Fatalf("compact.Validate(%s, AS%d) = %v, reference says %v", q.Prefix, q.Origin, got, want)
+		}
+	}
+	if got, want := cx.AppendVRPs(nil), ix.AppendVRPs(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendVRPs mismatch:\ncompact: %v\nindex:   %v", got, want)
+	}
+}
+
+// TestCompactBatchVariants pins every batch entry point to the one-route
+// Validate answer: plain, sorted (above and below its radix threshold), and
+// parallel batches must be indistinguishable.
+func TestCompactBatchVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var vrps []rpki.VRP
+	for i := 0; i < 500; i++ {
+		vrps = append(vrps, randomVRP(rng))
+	}
+	cx := NewCompactIndex(rpki.NewSet(vrps))
+	for _, n := range []int{0, 1, sortedBatchMin - 1, 2048} {
+		routes := make([]Route, n)
+		for i := range routes {
+			routes[i] = randomProbe(rng)
+		}
+		want := make([]State, n)
+		for i, q := range routes {
+			want[i] = cx.Validate(q.Prefix, q.Origin)
+		}
+		statesEqual := func(got []State) bool {
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if got := cx.ValidateBatch(routes, nil); !statesEqual(got) {
+			t.Fatalf("n=%d: ValidateBatch diverges from Validate", n)
+		}
+		if got := cx.ValidateBatchSorted(routes, nil); !statesEqual(got) {
+			t.Fatalf("n=%d: ValidateBatchSorted diverges from Validate", n)
+		}
+		if got := cx.ValidateBatchParallel(routes, nil, 4); !statesEqual(got) {
+			t.Fatalf("n=%d: ValidateBatchParallel diverges from Validate", n)
+		}
+	}
+}

@@ -98,17 +98,123 @@ func FuzzIndex(f *testing.F) {
 				Route{Prefix: v.Prefix, Origin: v.AS + 1})
 		}
 		set := rpki.NewSet(vrps)
-		ix, ref := NewIndex(set), NewReference(set)
-		if ix.Len() != set.Len() || live.Len() != set.Len() {
-			t.Fatalf("index %d / live %d / set %d VRPs", ix.Len(), live.Len(), set.Len())
+		ix, cx, ref := NewIndex(set), NewCompactIndex(set), NewReference(set)
+		if ix.Len() != set.Len() || cx.Len() != set.Len() || live.Len() != set.Len() {
+			t.Fatalf("index %d / compact %d / live %d / set %d VRPs", ix.Len(), cx.Len(), live.Len(), set.Len())
 		}
 		for _, q := range queries {
 			want := ref.Validate(q.Prefix, q.Origin)
 			if got := ix.Validate(q.Prefix, q.Origin); got != want {
 				t.Fatalf("Index.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
 			}
+			if got := cx.Validate(q.Prefix, q.Origin); got != want {
+				t.Fatalf("CompactIndex.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
 			if got := live.Validate(q.Prefix, q.Origin); got != want {
 				t.Fatalf("LiveIndex.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
+		}
+	})
+}
+
+// FuzzCompactIndex aims the fuzzer at the compact build itself: the same op
+// encoding as FuzzIndex, but after every announce/withdraw the compact index
+// is rebuilt from the current table and cross-examined against the arena
+// Index — the per-delta differential — and the final table additionally goes
+// through the CompactFromIndex path (build from the Index's canonical walk),
+// the Reference, and an exact AppendVRPs comparison. Query ops probe both
+// families at fuzzer-chosen lengths, including sub-stride ones.
+func FuzzCompactIndex(f *testing.F) {
+	f.Add([]byte{
+		0, 168, 122, 0, 0, 16, 8, 111, // announce 168.122.0.0/16-24 => AS111
+		2, 168, 122, 0, 0, 24, 0, 111, // covered subprefix, right origin
+		0, 168, 122, 0, 0, 8, 0, 42, // short ancestor at another origin
+		2, 168, 122, 0, 0, 4, 0, 42, // query shorter than every table prefix
+		1, 168, 122, 0, 0, 16, 8, 111, // withdraw the first ROA
+		2, 168, 122, 0, 0, 16, 0, 111,
+	})
+	f.Add([]byte{
+		8, 32, 1, 13, 184, 32, 16, 200, // IPv6 announce
+		10, 32, 1, 13, 184, 48, 0, 200, // IPv6 query under it
+		10, 32, 1, 13, 184, 0, 0, 200, // IPv6 /0 query
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		state := map[rpki.VRP]struct{}{}
+		var queries []Route
+		rebuild := func() (*rpki.Set, *Index, *CompactIndex) {
+			vrps := make([]rpki.VRP, 0, len(state))
+			for v := range state {
+				vrps = append(vrps, v)
+			}
+			set := rpki.NewSet(vrps)
+			return set, NewIndex(set), NewCompactIndex(set)
+		}
+		for len(data) >= 8 {
+			op := data[:8]
+			data = data[8:]
+			tag := op[0]
+			fam, famMax := prefix.IPv4, uint8(32)
+			if tag&8 != 0 {
+				fam, famMax = prefix.IPv6, 64
+			}
+			l := op[5] % (famMax + 1)
+			hi := uint64(binary.BigEndian.Uint32(op[1:5])) << 32
+			if fam == prefix.IPv6 {
+				hi |= uint64(op[4])<<24 | uint64(op[3])<<16 | uint64(op[2])<<8 | uint64(op[1])
+			}
+			p, err := prefix.Make(fam, hi, 0, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origin := rpki.ASN(op[7]) % 8
+			if tag%3 == 2 {
+				queries = append(queries, Route{Prefix: p, Origin: origin})
+				continue
+			}
+			ml := l + op[6]%(famMax-l+1)
+			if ml > p.MaxLen() {
+				ml = p.MaxLen()
+			}
+			v := rpki.VRP{Prefix: p, MaxLength: ml, AS: origin}
+			if tag%3 == 0 {
+				state[v] = struct{}{}
+			} else {
+				delete(state, v)
+			}
+			// Per-delta differential: the fresh compact build must answer the
+			// delta's own prefix (and queries so far) exactly like the Index.
+			_, ix, cx := rebuild()
+			probes := append([]Route{{Prefix: p, Origin: origin}, {Prefix: p, Origin: origin + 1}}, queries...)
+			for _, q := range probes {
+				if got, want := cx.Validate(q.Prefix, q.Origin), ix.Validate(q.Prefix, q.Origin); got != want {
+					t.Fatalf("after delta %v: CompactIndex.Validate(%s, %v) = %v, Index %v", v, q.Prefix, q.Origin, got, want)
+				}
+			}
+		}
+		set, ix, cx := rebuild()
+		ref := NewReference(set)
+		cfi := CompactFromIndex(ix)
+		for _, v := range set.VRPs() {
+			queries = append(queries,
+				Route{Prefix: v.Prefix, Origin: v.AS},
+				Route{Prefix: v.Prefix, Origin: v.AS + 1})
+		}
+		for _, q := range queries {
+			want := ref.Validate(q.Prefix, q.Origin)
+			if got := cx.Validate(q.Prefix, q.Origin); got != want {
+				t.Fatalf("CompactIndex.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
+			if got := cfi.Validate(q.Prefix, q.Origin); got != want {
+				t.Fatalf("CompactFromIndex.Validate(%s, %v) = %v, reference %v", q.Prefix, q.Origin, got, want)
+			}
+		}
+		got, want := cx.AppendVRPs(nil), ix.AppendVRPs(nil)
+		if len(got) != len(want) {
+			t.Fatalf("AppendVRPs: compact %d VRPs, index %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AppendVRPs[%d]: compact %v, index %v", i, got[i], want[i])
 			}
 		}
 	})

@@ -78,6 +78,14 @@ func NewIndex(s *rpki.Set) *Index {
 	return newIndexFromVRPs(s.VRPs())
 }
 
+// termsScratch pools the per-build terminal-node index scratch shared by
+// newIndexFromVRPs and the compact build: one int32 per VRP, dead the moment
+// the build returns. LiveIndex compaction rebuilds on every garbage
+// threshold crossing, so without the pool each compaction allocates (and
+// immediately discards) a table-sized slice. Bounds mirror the engine slab
+// pools: a few buffers, capped at paper-scale tables.
+var termsScratch = core.NewBufPool[int32](4, 1<<20)
+
 // newIndexFromVRPs builds the two-slab index in two passes: the first
 // inserts every VRP's path and counts entries per terminal node, then a
 // prefix-sum turns counts into slab offsets; the second drops each entry
@@ -96,12 +104,16 @@ func newIndexFromVRPs(vrps []rpki.VRP) *Index {
 		ix.fams[slot].eng.Init(perFam[slot], span{}, nil)
 		ix.fams[slot].root = 0
 	}
-	terms := make([]int32, len(vrps))
-	for i, v := range vrps {
+	terms := termsScratch.Get(len(vrps))
+	if terms == nil {
+		terms = make([]int32, 0, len(vrps))
+	}
+	defer func() { termsScratch.Put(terms) }()
+	for _, v := range vrps {
 		f := &ix.fams[famSlot(v.Prefix.Family())]
 		idx := f.eng.PathInsert(f.root, v.Prefix, span{})
 		f.eng.Nodes[idx].Val.n++
-		terms[i] = idx
+		terms = append(terms, idx)
 	}
 	off := int32(0)
 	for slot := range ix.fams {

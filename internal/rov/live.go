@@ -28,9 +28,18 @@ import (
 // off the Apply path, so no delta ever pays the O(live set) rebuild in its
 // latency — then replays the deltas that arrived during the rebuild and
 // publishes through the same snapshot swap. Old snapshots stay intact.
+//
+// The published state is a view pairing two structures over the same table:
+// the bit-at-a-time Index (always present — it is what deltas path-copy
+// into) and, when the table has been quiescent long enough for a build to
+// land, a CompactIndex serving the hot read path at a fraction of the
+// latency. Deltas publish a bit-trie-only view immediately; each compaction
+// (and NewLiveIndex/ResetTo, synchronously) re-derives the compact half.
+// Readers take whichever the current view carries — the fallback between
+// compactions is the bit trie, never a stall.
 type LiveIndex struct {
-	mu   sync.Mutex // serializes writers (Apply, ResetTo, compaction publish)
-	snap atomic.Pointer[Index]
+	mu  sync.Mutex // serializes writers (Apply, ResetTo, compaction publish)
+	cur atomic.Pointer[view]
 
 	// Writer-side garbage accounting, guarded by mu: slab cells no longer
 	// reachable from the *current* snapshot's roots.
@@ -58,9 +67,25 @@ type LiveIndex struct {
 	// rebuild instead of resurrecting replaced (or stale) data.
 	gen uint64
 
+	// compactBuilds counts published compact snapshots (tests read it under
+	// mu to assert the compact half actually cycles).
+	compactBuilds int
+
 	// compactHook, when set (tests), runs on the compactor goroutine before
 	// the rebuild — a seam to stall compaction and observe Apply continuing.
 	compactHook func()
+}
+
+// view is one published table version: the delta-updatable bit trie, always,
+// and the compact read-path structure when one has been built for exactly
+// this version (nil between a delta and the next compaction). The Index is
+// embedded by value so publishing a delta costs one allocation, not two;
+// Snapshot hands out interior pointers, which keep the whole view alive.
+//
+//repro:immutable
+type view struct {
+	bit     Index
+	compact *CompactIndex
 }
 
 // pendingOp is one delta operation recorded for replay onto a compacted
@@ -75,12 +100,13 @@ type pendingOp struct {
 // abandoned rather than chased (see LiveIndex.pendingLimit).
 const maxPendingOps = 1 << 16
 
-// NewLiveIndex builds a live table over the set's VRPs. Seeding with an
-// empty set and applying the first full sync as one announce delta is
-// equally valid.
+// NewLiveIndex builds a live table over the set's VRPs, compact snapshot
+// included. Seeding with an empty set and applying the first full sync as
+// one announce delta is equally valid.
 func NewLiveIndex(s *rpki.Set) *LiveIndex {
 	l := &LiveIndex{}
-	l.snap.Store(NewIndex(s))
+	l.cur.Store(&view{bit: *NewIndex(s), compact: NewCompactIndex(s)})
+	l.compactBuilds++
 	return l
 }
 
@@ -89,19 +115,38 @@ func NewLiveIndex(s *rpki.Set) *LiveIndex {
 // holds it, regardless of later Apply calls.
 //
 //repro:immutable
-func (l *LiveIndex) Snapshot() *Index { return l.snap.Load() }
+func (l *LiveIndex) Snapshot() *Index { return &l.cur.Load().bit }
+
+// CompactSnapshot returns the compact index of the current table version, or
+// nil when the current version has deltas the last compact build predates —
+// the caller falls back to Snapshot (LiveIndex.Validate does exactly that).
+// Like Snapshot, the returned value is immutable and stays valid regardless
+// of later Apply calls.
+//
+//repro:immutable
+func (l *LiveIndex) CompactSnapshot() *CompactIndex { return l.cur.Load().compact }
 
 // Len returns the number of VRPs in the current table.
 func (l *LiveIndex) Len() int { return l.Snapshot().Len() }
 
-// Validate classifies (p, origin) against the current table.
+// Validate classifies (p, origin) against the current table, through the
+// compact structure when the current version carries one.
 func (l *LiveIndex) Validate(p prefix.Prefix, origin rpki.ASN) State {
-	return l.Snapshot().Validate(p, origin)
+	v := l.cur.Load()
+	if v.compact != nil {
+		return v.compact.Validate(p, origin)
+	}
+	return v.bit.Validate(p, origin)
 }
 
-// ValidateBatch classifies a batch against one consistent table version.
+// ValidateBatch classifies a batch against one consistent table version,
+// through the compact structure when the current version carries one.
 func (l *LiveIndex) ValidateBatch(routes []Route, dst []State) []State {
-	return l.Snapshot().ValidateBatch(routes, dst)
+	v := l.cur.Load()
+	if v.compact != nil {
+		return v.compact.ValidateBatch(routes, dst)
+	}
+	return v.bit.ValidateBatch(routes, dst)
 }
 
 // Apply installs one RTR delta: announced VRPs are added, withdrawn VRPs
@@ -115,15 +160,27 @@ func (l *LiveIndex) ValidateBatch(routes []Route, dst []State) []State {
 func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	old := l.snap.Load()
-	nw := &Index{fams: old.fams, entries: old.entries, size: old.size}
+	old := &l.cur.Load().bit
+	vw := &view{bit: Index{fams: old.fams, entries: old.entries, size: old.size}}
+	nw := &vw.bit
+	changed := false
 	for _, v := range announce {
-		l.announce(nw, v)
+		if l.announce(nw, v) {
+			changed = true
+		}
 	}
 	for _, v := range withdraw {
-		l.withdraw(nw, v)
+		if l.withdraw(nw, v) {
+			changed = true
+		}
 	}
-	l.snap.Store(nw)
+	if changed {
+		// The compact half of the view describes the pre-delta table; the
+		// next compaction re-derives it. Readers fall back to the bit trie
+		// in between. A delta that nets to nothing keeps the old view — and
+		// with it any compact snapshot — intact.
+		l.cur.Store(vw)
+	}
 	switch {
 	case l.compacting:
 		// A compaction is rebuilding from a snapshot that predates this
@@ -164,12 +221,14 @@ func (l *LiveIndex) Apply(announce, withdraw []rpki.VRP) {
 // background compaction of the replaced table discards its rebuild.
 func (l *LiveIndex) ResetTo(vrps []rpki.VRP) {
 	nw := newIndexFromVRPs(vrps)
+	cpt := newCompactFromVRPs(vrps)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.gen++
 	l.resetPending()
 	l.garbageNodes, l.garbageEntries = 0, 0
-	l.snap.Store(nw)
+	l.cur.Store(&view{bit: *nw, compact: cpt})
+	l.compactBuilds++
 }
 
 // resetPending empties the replay log, keeping moderate capacity for reuse
@@ -195,7 +254,6 @@ func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
 	}
 	rebuilt := newIndexFromVRPs(src.AppendVRPs(make([]rpki.VRP, 0, src.size)))
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.compacting = false
 	if l.gen != gen {
 		// ResetTo replaced the table while we rebuilt the old one, or the
@@ -203,6 +261,7 @@ func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
 		// is stale. Drop it; the garbage accounting (zeroed by ResetTo, left
 		// intact by an abort) decides whether a fresh compaction follows.
 		l.resetPending()
+		l.mu.Unlock()
 		return
 	}
 	l.garbageNodes, l.garbageEntries = 0, 0
@@ -211,7 +270,8 @@ func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
 	// idempotent state-setters), and ops on distinct VRPs commute, so a
 	// churn burst that announced and withdrew the same VRP many times
 	// collapses to a single op instead of double-applying the whole window.
-	if len(l.pending) > 0 {
+	quiet := len(l.pending) == 0
+	if !quiet {
 		last := make(map[rpki.VRP]bool, len(l.pending))
 		for _, op := range l.pending {
 			last[op.v] = op.announce
@@ -225,18 +285,59 @@ func (l *LiveIndex) compact(src *Index, gen uint64, hook func()) {
 		}
 	}
 	l.resetPending()
-	l.snap.Store(rebuilt)
+	l.cur.Store(&view{bit: *rebuilt})
+	l.mu.Unlock()
+	// Still on the compactor goroutine, off every Apply path: derive the
+	// compact read structure for the version just published — but only after
+	// a rebuild no delta raced with. A delta during the rebuild means the
+	// writer is churning, and a compact build for this version would be
+	// invalidated before it lands; the bit trie serves until a compaction
+	// runs quiescent.
+	if quiet {
+		l.publishCompact()
+	}
 }
 
-// announce adds one VRP to the in-construction snapshot.
-func (l *LiveIndex) announce(nw *Index, v rpki.VRP) {
+// compactPublishAttempts bounds publishCompact's build-and-install loop: each
+// failed attempt means a delta landed during the O(live set) build, so under
+// sustained churn the compactor gives up rather than chase the writer — the
+// next compaction (or quiescence) tries again. Readers lose nothing but the
+// fast path; the bit trie keeps serving.
+const compactPublishAttempts = 3
+
+// publishCompact builds a CompactIndex for the currently published table
+// version and installs it into the view — unless the version moved while the
+// build ran, in which case it retries on the new version, a bounded number of
+// times. The build runs outside mu (it is O(live set)); only the
+// compare-and-install takes the writer lock, so Apply latency is unaffected.
+func (l *LiveIndex) publishCompact() {
+	for attempt := 0; attempt < compactPublishAttempts; attempt++ {
+		v := l.cur.Load()
+		if v.compact != nil {
+			return
+		}
+		c := CompactFromIndex(&v.bit)
+		l.mu.Lock()
+		if l.cur.Load() == v {
+			l.cur.Store(&view{bit: v.bit, compact: c})
+			l.compactBuilds++
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+	}
+}
+
+// announce adds one VRP to the in-construction snapshot, reporting whether
+// the table changed (false: the VRP was already present).
+func (l *LiveIndex) announce(nw *Index, v rpki.VRP) bool {
 	f := &nw.fams[famSlot(v.Prefix.Family())]
 	e := entry{maxLength: v.MaxLength, as: v.AS}
 	if idx := f.eng.PathFind(f.root, v.Prefix); idx >= 0 {
 		sp := f.eng.Nodes[idx].Val
 		for _, have := range nw.entries[sp.off : sp.off+sp.n] {
 			if have == e {
-				return // already in the table
+				return false // already in the table
 			}
 		}
 	}
@@ -250,14 +351,16 @@ func (l *LiveIndex) announce(nw *Index, v rpki.VRP) {
 	f.eng.Nodes[idx].Val = span{off: off, n: sp.n + 1}
 	l.garbageEntries += int(sp.n)
 	nw.size++
+	return true
 }
 
-// withdraw removes one VRP from the in-construction snapshot.
-func (l *LiveIndex) withdraw(nw *Index, v rpki.VRP) {
+// withdraw removes one VRP from the in-construction snapshot, reporting
+// whether the table changed (false: the VRP was absent).
+func (l *LiveIndex) withdraw(nw *Index, v rpki.VRP) bool {
 	f := &nw.fams[famSlot(v.Prefix.Family())]
 	idx := f.eng.PathFind(f.root, v.Prefix)
 	if idx < 0 {
-		return
+		return false
 	}
 	sp := f.eng.Nodes[idx].Val
 	e := entry{maxLength: v.MaxLength, as: v.AS}
@@ -269,7 +372,7 @@ func (l *LiveIndex) withdraw(nw *Index, v rpki.VRP) {
 		}
 	}
 	if pos < 0 {
-		return // not in the table
+		return false // not in the table
 	}
 	nidx := l.pathCopy(f, v.Prefix)
 	if sp.n == 1 {
@@ -284,6 +387,7 @@ func (l *LiveIndex) withdraw(nw *Index, v rpki.VRP) {
 	}
 	l.garbageEntries += int(sp.n)
 	nw.size--
+	return true
 }
 
 // pathCopy clones the nodes along p's path — creating the ones that do not

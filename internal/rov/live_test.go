@@ -19,7 +19,7 @@ func settle(t *testing.T, l *LiveIndex) {
 	for {
 		l.mu.Lock()
 		busy := l.compacting
-		need := !busy && l.needCompact(l.snap.Load())
+		need := !busy && l.needCompact(&l.cur.Load().bit)
 		l.mu.Unlock()
 		if busy {
 			if time.Now().After(deadline) {
@@ -68,9 +68,11 @@ func randomProbe(rng *rand.Rand) Route {
 }
 
 // TestDifferentialLiveIndexVsReference is the tentpole correctness test:
-// the arena Index, the LiveIndex after an arbitrary delta history, and the
-// linear Reference must agree state-for-state on randomized IPv4+IPv6
-// workloads — after every applied delta, not just at the end.
+// the arena Index, the compact index, the LiveIndex after an arbitrary delta
+// history, and the linear Reference must agree state-for-state on randomized
+// IPv4+IPv6 workloads — after every applied delta, not just at the end. When
+// the LiveIndex's current version carries a published compact snapshot, that
+// snapshot is held to the same answers.
 func TestDifferentialLiveIndexVsReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 20; trial++ {
@@ -111,10 +113,10 @@ func TestDifferentialLiveIndexVsReference(t *testing.T) {
 				cur = append(cur, v)
 			}
 			set := rpki.NewSet(cur)
-			ix, ref := NewIndex(set), NewReference(set)
-			if live.Len() != set.Len() || ix.Len() != set.Len() {
-				t.Fatalf("trial %d step %d: live %d / index %d / set %d VRPs",
-					trial, step, live.Len(), ix.Len(), set.Len())
+			ix, cx, ref := NewIndex(set), NewCompactIndex(set), NewReference(set)
+			if live.Len() != set.Len() || ix.Len() != set.Len() || cx.Len() != set.Len() {
+				t.Fatalf("trial %d step %d: live %d / index %d / compact %d / set %d VRPs",
+					trial, step, live.Len(), ix.Len(), cx.Len(), set.Len())
 			}
 			var routes []Route
 			for q := 0; q < 120; q++ {
@@ -127,15 +129,27 @@ func TestDifferentialLiveIndexVsReference(t *testing.T) {
 			}
 			liveStates := live.ValidateBatch(routes, nil)
 			ixStates := ix.ValidateBatch(routes, nil)
+			cxStates := cx.ValidateBatch(routes, nil)
+			pub := live.CompactSnapshot() // nil unless a compaction landed for this exact version
 			for i, q := range routes {
 				want := ref.Validate(q.Prefix, q.Origin)
 				if ixStates[i] != want {
 					t.Fatalf("trial %d step %d: Index.Validate(%s, %v) = %v, reference %v",
 						trial, step, q.Prefix, q.Origin, ixStates[i], want)
 				}
+				if cxStates[i] != want {
+					t.Fatalf("trial %d step %d: CompactIndex.Validate(%s, %v) = %v, reference %v",
+						trial, step, q.Prefix, q.Origin, cxStates[i], want)
+				}
 				if liveStates[i] != want {
 					t.Fatalf("trial %d step %d: LiveIndex.Validate(%s, %v) = %v, reference %v",
 						trial, step, q.Prefix, q.Origin, liveStates[i], want)
+				}
+				if pub != nil {
+					if got := pub.Validate(q.Prefix, q.Origin); got != want {
+						t.Fatalf("trial %d step %d: published compact Validate(%s, %v) = %v, reference %v",
+							trial, step, q.Prefix, q.Origin, got, want)
+					}
 				}
 			}
 		}
@@ -305,6 +319,103 @@ func TestLiveIndexConcurrentReaders(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestLiveIndexCompactSwitchover runs lock-free readers across the
+// bit-trie→compact switchover while a writer churns deltas through repeated
+// compactions. Readers hold whichever structure they loaded — a compact
+// snapshot must stay internally consistent (its answers match a reference
+// built from its own exported table) no matter how many versions have been
+// published since. Under -race this pins the view-swap memory contract.
+func TestLiveIndexCompactSwitchover(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	var base []rpki.VRP
+	for i := 0; i < 200; i++ {
+		base = append(base, randomVRP(rng))
+	}
+	l := NewLiveIndex(rpki.NewSet(base))
+	if l.CompactSnapshot() == nil {
+		t.Fatal("NewLiveIndex did not publish a compact snapshot")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Alternate the two snapshot kinds so both sides of the
+				// switchover are held across version swaps.
+				if c := l.CompactSnapshot(); c != nil {
+					ref := NewReference(rpki.NewSet(c.AppendVRPs(nil)))
+					for q := 0; q < 40; q++ {
+						p := randomProbe(rng)
+						if got, want := c.Validate(p.Prefix, p.Origin), ref.Validate(p.Prefix, p.Origin); got != want {
+							t.Errorf("compact snapshot inconsistent: Validate(%s, %v) = %v, want %v", p.Prefix, p.Origin, got, want)
+							return
+						}
+					}
+				}
+				snap := l.Snapshot()
+				ref := NewReference(rpki.NewSet(snap.AppendVRPs(nil)))
+				for q := 0; q < 20; q++ {
+					p := randomProbe(rng)
+					if got, want := snap.Validate(p.Prefix, p.Origin), ref.Validate(p.Prefix, p.Origin); got != want {
+						t.Errorf("bit snapshot inconsistent: Validate(%s, %v) = %v, want %v", p.Prefix, p.Origin, got, want)
+						return
+					}
+				}
+			}
+		}(int64(300 + r))
+	}
+	for i := 0; i < 1500; i++ {
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+	}
+	close(stop)
+	wg.Wait()
+	settle(t, l)
+
+	// The churn crossed the garbage thresholds: compactions must have cycled
+	// the compact half. Keep nudging until the republished compact snapshot
+	// is visible — the publish runs on the compactor goroutine after the
+	// compacting flag clears, and a trailing delta hides it until the next
+	// cycle — then pin it against the bit trie exactly.
+	deadline := time.Now().Add(30 * time.Second)
+	for l.CompactSnapshot() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("compact snapshot never republished after churn")
+		}
+		v := randomVRP(rng)
+		l.Apply([]rpki.VRP{v}, nil)
+		l.Apply(nil, []rpki.VRP{v})
+		settle(t, l)
+		time.Sleep(time.Millisecond)
+	}
+	l.mu.Lock()
+	builds := l.compactBuilds
+	l.mu.Unlock()
+	if builds < 2 {
+		t.Fatalf("compact snapshot never republished: %d builds", builds)
+	}
+	c := l.CompactSnapshot()
+	snap := l.Snapshot()
+	if c.Len() != snap.Len() {
+		t.Fatalf("compact Len %d, bit Len %d", c.Len(), snap.Len())
+	}
+	for q := 0; q < 1000; q++ {
+		p := randomProbe(rng)
+		if got, want := c.Validate(p.Prefix, p.Origin), snap.Validate(p.Prefix, p.Origin); got != want {
+			t.Fatalf("settled compact disagrees with bit trie: Validate(%s, %v) = %v, want %v", p.Prefix, p.Origin, got, want)
+		}
+	}
 }
 
 // TestValidateBatchMatchesValidate pins the batch APIs (serial and
