@@ -10,11 +10,17 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
-// Analyzer is one invariant check.
+// Analyzer is one invariant check. Exactly one of Run and RunModule is set:
+// Run analyzers see one package at a time and fan out on the worker pool;
+// RunModule analyzers see every loaded package at once plus the call graph,
+// and run after the per-package phase.
 type Analyzer struct {
 	// Name is the check name used in findings and //lint:ignore directives.
 	Name string
@@ -25,6 +31,8 @@ type Analyzer struct {
 	AppliesTo func(pkgPath string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded module through the call graph.
+	RunModule func(m *ModulePass)
 }
 
 // Pass is one analyzer's view of one package.
@@ -42,6 +50,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Check: p.check,
 		Pos:   p.Fset.Position(pos),
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass is one module-level analyzer's view of the whole loaded
+// package set.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Facts *Facts
+	Graph *CallGraph
+
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (m *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*m.findings = append(*m.findings, Finding{
+		Check: m.check,
+		Pos:   m.Fset.Position(pos),
 		Msg:   fmt.Sprintf(format, args...),
 	})
 }
@@ -84,9 +113,16 @@ type Facts struct {
 	// annotated //repro:immutable: their return values are published
 	// snapshots.
 	ImmutableFuncs map[string]bool
+	// NoallocFuncs holds (*types.Func).FullName() strings for functions
+	// annotated //repro:noalloc: hot paths that must stay allocation-free,
+	// transitively through module-internal calls (checked by hotalloc).
+	NoallocFuncs map[string]bool
 }
 
-const immutableDirective = "//repro:immutable"
+const (
+	immutableDirective = "//repro:immutable"
+	noallocDirective   = "//repro:noalloc"
+)
 
 // collectFacts scans the loaded packages' declaration comments for
 // //repro:* directives.
@@ -94,6 +130,7 @@ func collectFacts(pkgs []*Package) *Facts {
 	f := &Facts{
 		ImmutableTypes: make(map[string]bool),
 		ImmutableFuncs: make(map[string]bool),
+		NoallocFuncs:   make(map[string]bool),
 	}
 	for _, p := range pkgs {
 		for _, file := range p.Files {
@@ -114,11 +151,15 @@ func collectFacts(pkgs []*Package) *Facts {
 						}
 					}
 				case *ast.FuncDecl:
-					if !hasDirective(d.Doc, immutableDirective) {
+					obj, ok := p.Info.Defs[d.Name].(*types.Func)
+					if !ok {
 						continue
 					}
-					if obj, ok := p.Info.Defs[d.Name].(*types.Func); ok {
+					if hasDirective(d.Doc, immutableDirective) {
 						f.ImmutableFuncs[obj.FullName()] = true
+					}
+					if hasDirective(d.Doc, noallocDirective) {
+						f.NoallocFuncs[obj.FullName()] = true
 					}
 				}
 			}
@@ -194,30 +235,127 @@ func (d *ignoreDirective) matches(check string) bool {
 	return false
 }
 
+// runStats reports where a run spent its wall-clock, for reprolint -v.
+type runStats struct {
+	Packages int
+	Workers  int
+	PkgPhase time.Duration // parallel per-package checks
+	ModPhase time.Duration // call-graph build + module-level checks
+}
+
 // runAnalyzers runs every analyzer over every package, applies suppression,
 // and returns the surviving findings sorted by position. Malformed
 // //lint:ignore directives are themselves findings (check "lint"): a
 // suppression without a stated reason suppresses nothing and documents
+// nothing, and a suppression naming a check that is not registered guards
 // nothing.
 func runAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return runAnalyzersTimed(fset, pkgs, analyzers, nil)
+}
+
+// runAnalyzersTimed is runAnalyzers with optional phase timing. Type
+// checking already happened in dependency order inside the loader; the
+// per-package check phase is embarrassingly parallel over read-only
+// types.Info, so it fans out on a bounded worker pool. Module-level
+// analyzers then run over the shared call graph, each collecting into its
+// own slice, and everything is merged, suppressed, and sorted at the end —
+// output is deterministic regardless of scheduling.
+func runAnalyzersTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, stats *runStats) []Finding {
 	facts := collectFacts(pkgs)
 	ignores := collectIgnores(fset, pkgs)
 
-	var raw []Finding
-	for _, p := range pkgs {
-		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(p.Path) {
-				continue
-			}
-			pass := &Pass{
-				Package:  p,
-				Fset:     fset,
-				Facts:    facts,
-				check:    a.Name,
-				findings: &raw,
-			}
-			a.Run(pass)
+	var pkgAnalyzers, modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+		} else {
+			pkgAnalyzers = append(pkgAnalyzers, a)
 		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) && len(pkgs) > 0 {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	pkgStart := time.Now()
+	perPkg := make([][]Finding, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := pkgs[i]
+				for _, a := range pkgAnalyzers {
+					if a.AppliesTo != nil && !a.AppliesTo(p.Path) {
+						continue
+					}
+					pass := &Pass{
+						Package:  p,
+						Fset:     fset,
+						Facts:    facts,
+						check:    a.Name,
+						findings: &perPkg[i],
+					}
+					a.Run(pass)
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	pkgPhase := time.Since(pkgStart)
+
+	modStart := time.Now()
+	perMod := make([][]Finding, len(modAnalyzers))
+	if len(modAnalyzers) > 0 {
+		graph := buildCallGraph(fset, pkgs)
+		var mwg sync.WaitGroup
+		for i, a := range modAnalyzers {
+			mwg.Add(1)
+			go func(i int, a *Analyzer) {
+				defer mwg.Done()
+				m := &ModulePass{
+					Fset:     fset,
+					Pkgs:     pkgs,
+					Facts:    facts,
+					Graph:    graph,
+					check:    a.Name,
+					findings: &perMod[i],
+				}
+				a.RunModule(m)
+			}(i, a)
+		}
+		mwg.Wait()
+	}
+	modPhase := time.Since(modStart)
+
+	if stats != nil {
+		stats.Packages = len(pkgs)
+		stats.Workers = workers
+		stats.PkgPhase = pkgPhase
+		stats.ModPhase = modPhase
+	}
+
+	var raw []Finding
+	for _, fs := range perPkg {
+		raw = append(raw, fs...)
+	}
+	for _, fs := range perMod {
+		raw = append(raw, fs...)
+	}
+
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
 	}
 
 	var out []Finding
@@ -237,6 +375,16 @@ func runAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 						Pos:   d.pos,
 						Msg:   "malformed //lint:ignore: want \"//lint:ignore <check>[,<check>] <reason>\" — a suppression must name its check and justify itself",
 					})
+					continue
+				}
+				for _, c := range d.checks {
+					if !known[c] {
+						out = append(out, Finding{
+							Check: "lint",
+							Pos:   d.pos,
+							Msg:   fmt.Sprintf("//lint:ignore names unknown check %q — it suppresses nothing (run reprolint -checks for the registry)", c),
+						})
+					}
 				}
 			}
 		}

@@ -1,0 +1,371 @@
+package main
+
+// goroleak: every `go` statement in non-test module code must have a
+// provable stop path. The supervisor/compactor/dispatch/writer-pool
+// lifecycles all follow one of three shapes, checked in order through the
+// call graph:
+//
+//  1. the goroutine (transitively) blocks on a channel — a select with no
+//     default, a plain receive, or a range over a channel — so closing the
+//     channel (or sending the sentinel) stops it;
+//  2. the goroutine provably terminates: nothing it (transitively) calls
+//     contains an unconditioned `for` loop;
+//  3. neither can be shown, and a `//repro:owns-goroutine <stopper>`
+//     annotation on the go statement (or the line above) names the
+//     Close/Stop method responsible for terminating it — validated to
+//     resolve to a declared module function or method.
+//
+// Selects *with* a default are non-blocking and do not count as stop paths
+// (the dispatch loop's drop-stale-notify select is exactly the shape that
+// must not pass). Spawn edges do not propagate either property: a nested
+// goroutine's receive stops the nested goroutine, not its parent.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var goroLeakAnalyzer = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "every go statement needs a provable stop path (blocking receive/select, termination, or //repro:owns-goroutine <stopper>)",
+	RunModule: runGoroLeak,
+}
+
+const ownsDirective = "//repro:owns-goroutine"
+
+func goroLeakScoped(path string) bool {
+	if strings.Contains(path, "testdata/src/") {
+		return strings.Contains(path, "testdata/src/goroleak")
+	}
+	return true
+}
+
+// ownsAnnotation is one parsed //repro:owns-goroutine directive.
+type ownsAnnotation struct {
+	pos     token.Pos
+	line    int
+	stopper string
+	used    bool
+}
+
+// loopWhere records which function an unbounded loop was found in, for the
+// finding message.
+type loopWhere struct {
+	fn    string
+	chain []string
+}
+
+func runGoroLeak(m *ModulePass) {
+	g := m.Graph
+
+	// Property composition over the call graph. canStop: a blocking
+	// receive/select is reachable (ref edges included — a stored handler
+	// with a receive is still a stop path once invoked). hasLoop: an
+	// unconditioned for loop is reachable through calls that actually run
+	// (static + interface edges only).
+	canStop := make(map[*funcNode]bool)
+	hasLoop := make(map[*funcNode]*loopWhere)
+	ownStop := make(map[*funcNode]bool)
+	ownLoop := make(map[*funcNode]bool)
+	for _, n := range g.nodes {
+		if n.body == nil {
+			continue
+		}
+		ownStop[n] = bodyHasBlockingReceive(n)
+		ownLoop[n] = bodyHasUnboundedLoop(n)
+	}
+	g.composeBottomUp(func(n *funcNode) bool {
+		grew := false
+		if !canStop[n] {
+			if ownStop[n] {
+				canStop[n] = true
+				grew = true
+			} else {
+				for _, e := range n.out {
+					if e.spawn {
+						continue
+					}
+					if canStop[e.callee] {
+						canStop[n] = true
+						grew = true
+						break
+					}
+				}
+			}
+		}
+		if hasLoop[n] == nil {
+			if ownLoop[n] {
+				hasLoop[n] = &loopWhere{fn: n.name}
+				grew = true
+			} else {
+				for _, e := range n.out {
+					if e.spawn || e.kind == edgeRef {
+						continue
+					}
+					if w := hasLoop[e.callee]; w != nil {
+						chain := make([]string, 0, len(w.chain)+1)
+						chain = append(chain, e.callee.name)
+						chain = append(chain, w.chain...)
+						hasLoop[n] = &loopWhere{fn: w.fn, chain: chain}
+						grew = true
+						break
+					}
+				}
+			}
+		}
+		return grew
+	})
+
+	// Collect annotations per file, then check every go statement in scope.
+	annots := make(map[string]map[int]*ownsAnnotation)
+	for _, p := range m.Pkgs {
+		if !goroLeakScoped(p.Path) {
+			continue
+		}
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ownsDirective)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					a := &ownsAnnotation{pos: c.Pos(), line: pos.Line}
+					if fields := strings.Fields(rest); len(fields) > 0 && strings.HasPrefix(rest, " ") {
+						a.stopper = fields[0]
+					}
+					byLine := annots[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]*ownsAnnotation)
+						annots[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = a
+				}
+			}
+		}
+	}
+
+	for _, n := range g.nodes {
+		if n.body == nil || !goroLeakScoped(n.pkg.Path) {
+			continue
+		}
+		pos := m.Fset.Position(n.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(n.body, func(nd ast.Node) bool {
+			switch t := nd.(type) {
+			case *ast.FuncLit:
+				return false // its own node
+			case *ast.GoStmt:
+				checkGoStmt(m, g, n, t, annots, canStop, hasLoop)
+			}
+			return true
+		})
+	}
+
+	// Annotations that matched no go statement are stale.
+	for _, byLine := range annots {
+		for _, a := range byLine {
+			if !a.used {
+				m.Reportf(a.pos, "%s matches no go statement on its line or the line below", ownsDirective)
+			}
+		}
+	}
+}
+
+func checkGoStmt(m *ModulePass, g *CallGraph, n *funcNode, gs *ast.GoStmt,
+	annots map[string]map[int]*ownsAnnotation, canStop map[*funcNode]bool, hasLoop map[*funcNode]*loopWhere) {
+
+	pos := m.Fset.Position(gs.Pos())
+	var annot *ownsAnnotation
+	if byLine := annots[pos.Filename]; byLine != nil {
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			if a := byLine[line]; a != nil {
+				annot = a
+				break
+			}
+		}
+	}
+	if annot != nil {
+		annot.used = true
+		if annot.stopper == "" {
+			m.Reportf(annot.pos, "%s needs a stopper: name the Close/Stop method that terminates this goroutine", ownsDirective)
+			return
+		}
+		if !stopperDeclared(g, annot.stopper) {
+			m.Reportf(annot.pos, "%s names %q, which matches no declared function or method in the module", ownsDirective, annot.stopper)
+		}
+		return
+	}
+
+	// Resolve the spawned function.
+	var targets []*funcNode
+	if fl, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if c := g.byLit[fl]; c != nil {
+			targets = []*funcNode{c}
+		}
+	} else {
+		targets, _ = g.resolveCall(n.pkg, gs.Call, n.binds)
+	}
+	if len(targets) == 0 {
+		m.Reportf(gs.Pos(), "goroutine spawns a function reprolint cannot resolve; annotate with %s <stopper> naming what terminates it", ownsDirective)
+		return
+	}
+	for _, tgt := range targets {
+		if canStop[tgt] {
+			return // a blocking receive/select is reachable: close-able stop path
+		}
+	}
+	for _, tgt := range targets {
+		if w := hasLoop[tgt]; w != nil {
+			// The chain ends at the looping function itself; only the
+			// intermediate hops are worth naming.
+			where := w.fn
+			if len(w.chain) > 1 {
+				where += " (via " + strings.Join(w.chain[:len(w.chain)-1], " → ") + ")"
+			}
+			m.Reportf(gs.Pos(), "goroutine has no provable stop path: %s loops unconditionally in %s and never blocks on a channel; add a stop channel or annotate with %s <stopper>", tgt.name, where, ownsDirective)
+			return
+		}
+	}
+	// No receive, but no unbounded loop either: the goroutine terminates.
+}
+
+// bodyHasBlockingReceive reports whether the node's own body (literals
+// excluded) contains a select with no default, a blocking receive, or a
+// range over a channel. Receives that are the comm clause of a select with a
+// default are non-blocking and do not count.
+func bodyHasBlockingReceive(n *funcNode) bool {
+	nonBlocking := make(map[ast.Node]bool)
+	found := false
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range t.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				found = true
+				return false
+			}
+			for _, c := range t.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if arrow := commReceive(cc.Comm); arrow != nil {
+					nonBlocking[arrow] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW && !nonBlocking[t] {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if typ := typeOfIn(n.pkg, t.X); typ != nil {
+				if _, isChan := typ.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commReceive extracts the receive expression from a select comm clause.
+func commReceive(s ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		e = t.X
+	case *ast.AssignStmt:
+		if len(t.Rhs) == 1 {
+			e = t.Rhs[0]
+		}
+	}
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u
+	}
+	return nil
+}
+
+// bodyHasUnboundedLoop reports whether the node's own body (literals
+// excluded) contains a `for` with no condition. Range loops are bounded
+// (range over a channel is a receive, caught by the receive scan).
+func bodyHasUnboundedLoop(n *funcNode) bool {
+	found := false
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if t.Cond == nil {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stopperDeclared validates a //repro:owns-goroutine stopper name against
+// the module's declared functions: "(*Type).Method", "Type.Method",
+// "pkg.Func", or a bare "Func"/"Method" all resolve.
+func stopperDeclared(g *CallGraph, name string) bool {
+	clean := strings.NewReplacer("(", "", ")", "", "*", "").Replace(name)
+	parts := strings.Split(clean, ".")
+	method := parts[len(parts)-1]
+	qual := ""
+	if len(parts) >= 2 {
+		qual = parts[len(parts)-2]
+	}
+	for _, n := range g.nodes {
+		if n.decl == nil || n.decl.Name == nil || n.decl.Name.Name != method {
+			continue
+		}
+		if qual == "" {
+			return true
+		}
+		if recvBaseName(n.obj) == qual || shortPkg(n.pkg.Path) == qual {
+			return true
+		}
+	}
+	return false
+}
+
+// recvBaseName returns the receiver's named-type name, or "".
+func recvBaseName(obj *types.Func) string {
+	if obj == nil {
+		return ""
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLockOrderGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "lockorder"), wantsIn(t, "lockorder"))
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "goroleak"), wantsIn(t, "goroleak"))
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "hotalloc"), wantsIn(t, "hotalloc"))
+}
+
+// buildTestGraph loads one testdata package and builds its call graph.
+func buildTestGraph(t *testing.T, name string) *CallGraph {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{filepath.Join(wd, "testdata", "src", name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCallGraph(loader.Fset, pkgs)
+}
+
+// TestCallGraph pins the call-graph builder's own behavior: recursion,
+// mutual recursion, interface dispatch widening, method values, and
+// single-assignment func-literal bindings, plus the callees-first SCC order
+// every summary composition depends on.
+func TestCallGraph(t *testing.T) {
+	g := buildTestGraph(t, "callgraph")
+
+	node := func(name string) *funcNode {
+		t.Helper()
+		for _, n := range g.nodes {
+			if n.name == name {
+				return n
+			}
+		}
+		var names []string
+		for _, n := range g.nodes {
+			names = append(names, n.name)
+		}
+		t.Fatalf("no node %q; have %v", name, names)
+		return nil
+	}
+	edgesTo := func(n *funcNode, callee string) []callEdge {
+		var out []callEdge
+		for _, e := range n.out {
+			if e.callee.name == callee {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	// Self-recursion: fact calls itself statically.
+	fact := node("callgraph.fact")
+	if es := edgesTo(fact, "callgraph.fact"); len(es) != 1 || es[0].kind != edgeStatic {
+		t.Errorf("fact self-edge: got %+v", es)
+	}
+
+	// Mutual recursion: ping and pong share one SCC of size two.
+	ping, pong := node("callgraph.ping"), node("callgraph.pong")
+	if ping.sccID != pong.sccID {
+		t.Errorf("ping sccID %d != pong sccID %d", ping.sccID, pong.sccID)
+	}
+	sccSize := 0
+	for _, n := range g.nodes {
+		if n.sccID == ping.sccID {
+			sccSize++
+		}
+	}
+	if sccSize != 2 {
+		t.Errorf("ping/pong SCC size = %d, want 2", sccSize)
+	}
+
+	// Interface dispatch widens to every concrete implementation.
+	dispatch := node("callgraph.dispatch")
+	for _, impl := range []string{"(callgraph.A).Do", "(*callgraph.B).Do"} {
+		if es := edgesTo(dispatch, impl); len(es) != 1 || es[0].kind != edgeIface {
+			t.Errorf("dispatch -> %s: got %+v", impl, es)
+		}
+	}
+
+	// A method value is a reference, not a call.
+	takeValue := node("callgraph.takeValue")
+	if es := edgesTo(takeValue, "(callgraph.A).Do"); len(es) != 1 || es[0].kind != edgeRef {
+		t.Errorf("takeValue -> (callgraph.A).Do: got %+v", es)
+	}
+
+	// A single-assignment local binding resolves the literal statically,
+	// and the literal's own edges compose onward.
+	useBound := node("callgraph.useBound")
+	if es := edgesTo(useBound, "callgraph.useBound$1"); len(es) == 0 || es[0].kind != edgeStatic {
+		t.Errorf("useBound -> useBound$1: got %+v", es)
+	}
+	lit := node("callgraph.useBound$1")
+	if es := edgesTo(lit, "callgraph.fact"); len(es) != 1 || es[0].kind != edgeStatic {
+		t.Errorf("useBound$1 -> fact: got %+v", es)
+	}
+
+	// Callees-first: every cross-SCC edge points at an earlier SCC, the
+	// invariant composeBottomUp's single forward pass relies on.
+	for _, n := range g.nodes {
+		for _, e := range n.out {
+			if e.callee.sccID != n.sccID && e.callee.sccID > n.sccID {
+				t.Errorf("edge %s -> %s breaks callees-first SCC order (%d -> %d)",
+					n.name, e.callee.name, n.sccID, e.callee.sccID)
+			}
+		}
+	}
+}
+
+// TestSuppressionInventory audits every //lint:ignore in the repository:
+// each directive must be well-formed and name only registered checks, so a
+// typo'd suppression cannot silently guard nothing.
+func TestSuppressionInventory(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	seen := make(map[*ignoreDirective]bool)
+	for _, byLine := range collectIgnores(loader.Fset, pkgs) {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d] {
+					continue // indexed under both its line and the line below
+				}
+				seen[d] = true
+				if !d.valid {
+					t.Errorf("%s: malformed //lint:ignore", d.pos)
+					continue
+				}
+				for _, c := range d.checks {
+					if !known[c] {
+						t.Errorf("%s: suppression names unregistered check %q", d.pos, c)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no //lint:ignore directives found; inventory test is scanning nothing")
+	}
+}
+
+// TestHotAllocProbe verifies the check actually fails the build when an
+// allocation is injected into an annotated hot path: the module's internal
+// packages are copied to a temp dir, a fmt.Sprintf is inserted into
+// keyMatch, and hotalloc must flag that exact line.
+func TestHotAllocProbe(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/reprolint -> repo root
+	tmp := t.TempDir()
+
+	copyFile := func(src, dst string) {
+		t.Helper()
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyFile(filepath.Join(root, "go.mod"), filepath.Join(tmp, "go.mod"))
+	err = filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		copyFile(path, filepath.Join(tmp, rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the allocation.
+	target := filepath.Join(tmp, "internal", "rov", "compact.go")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	anchor := "func keyMatch(nhi, nlo, qhi, qlo uint64, plen uint8) bool {\n"
+	if strings.Count(src, anchor) != 1 {
+		t.Fatalf("keyMatch anchor not found exactly once in %s", target)
+	}
+	src = strings.Replace(src, anchor, anchor+"\t_ = fmt.Sprintf(\"%d\", plen)\n", 1)
+	src = strings.Replace(src, "package rov\n", "package rov\n\nimport \"fmt\"\n", 1)
+	if err := os.WriteFile(target, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "fmt.Sprintf(\"%d\", plen)") {
+			injected = i + 1
+			break
+		}
+	}
+
+	loader, err := NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := runAnalyzers(loader.Fset, pkgs, analyzers)
+	if len(findings) == 0 {
+		t.Fatal("injected fmt.Sprintf into keyMatch produced no findings")
+	}
+	sawSprintf := false
+	for _, f := range findings {
+		if f.Check != "hotalloc" || f.Pos.Filename != target || f.Pos.Line != injected {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if strings.Contains(f.Msg, "fmt.Sprintf") {
+			sawSprintf = true
+		}
+	}
+	if !sawSprintf {
+		t.Errorf("no hotalloc finding names fmt.Sprintf: %v", findings)
+	}
+}

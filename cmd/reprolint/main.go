@@ -1,28 +1,37 @@
 // Command reprolint enforces this repository's load-bearing invariants with
-// static analysis: RFC 1982 serial ordering (serialcmp), arena slab pointer
-// discipline (arenaptr), snapshot copy-on-write (snapshotwrite), and no
-// blocking under RTR locks (blockinglock). It is built on go/parser and
-// go/types alone, keeping the module dependency-free.
+// static analysis. Four per-package checks: RFC 1982 serial ordering
+// (serialcmp), arena slab pointer discipline (arenaptr), snapshot
+// copy-on-write (snapshotwrite), and no blocking under RTR locks
+// (blockinglock). Three module-level checks composed over an inter-procedural
+// call graph: consistent lock acquisition order (lockorder), provable stop
+// paths for every goroutine (goroleak), and allocation-free //repro:noalloc
+// hot paths (hotalloc). It is built on go/parser and go/types alone, keeping
+// the module dependency-free.
 //
 // Usage:
 //
-//	reprolint [-tests] [packages]
+//	reprolint [-tests] [-json] [-v] [packages]
 //
 // Packages default to ./... relative to the working directory. Findings are
-// printed one per line as file:line:col: [check] message. Exit status is 0
-// when clean, 1 when findings remain, 2 on load or usage errors.
+// printed one per line as file:line:col: [check] message, or as one JSON
+// object per line with -json. Exit status is 0 when clean, 1 when findings
+// remain, 2 on load or usage errors. -v reports load and check wall-clock
+// to stderr.
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
 //	//lint:ignore <check>[,<check>] <reason>
 //
-// The reason is mandatory: an unexplained suppression is itself reported.
+// The reason is mandatory: an unexplained suppression is itself reported,
+// and so is a suppression naming an unregistered check.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 var analyzers = []*Analyzer{
@@ -30,13 +39,28 @@ var analyzers = []*Analyzer{
 	arenaPtrAnalyzer,
 	snapshotWriteAnalyzer,
 	blockingLockAnalyzer,
+	lockOrderAnalyzer,
+	goroLeakAnalyzer,
+	hotAllocAnalyzer,
+}
+
+// jsonFinding is the -json record shape; the field names are part of the CI
+// problem-matcher contract in .github/reprolint-problem-matcher.json.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
 }
 
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("checks", false, "list the registered checks and exit")
+	asJSON := flag.Bool("json", false, "emit findings as one JSON object per line")
+	verbose := flag.Bool("v", false, "report load and check wall-clock to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reprolint [-tests] [packages]\n\nChecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-tests] [-json] [-v] [packages]\n\nChecks:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -68,15 +92,28 @@ func main() {
 	}
 	loader.Tests = *tests
 
+	loadStart := time.Now()
 	pkgs, err := loader.Load(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
 
-	findings := runAnalyzers(loader.Fset, pkgs, analyzers)
+	var stats runStats
+	findings := runAnalyzersTimed(loader.Fset, pkgs, analyzers, &stats)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "reprolint: %d packages; load+typecheck %v; package checks %v (%d workers); module checks %v\n",
+			stats.Packages, loadTime.Round(time.Millisecond), stats.PkgPhase.Round(time.Millisecond), stats.Workers, stats.ModPhase.Round(time.Millisecond))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
-		fmt.Println(f)
+		if *asJSON {
+			enc.Encode(jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Check: f.Check, Message: f.Msg})
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -1,0 +1,48 @@
+// Package callgraph is the unit-test fixture for the call-graph builder:
+// self-recursion, mutual recursion, interface dispatch, a method value, and
+// a single-assignment func-literal binding, each pinned by TestCallGraph.
+package callgraph
+
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+func ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return ping(n - 1)
+}
+
+type Doer interface{ Do() int }
+
+type A struct{}
+
+func (A) Do() int { return 1 }
+
+type B struct{ v int }
+
+func (b *B) Do() int { return b.v }
+
+func dispatch(d Doer) int { return d.Do() }
+
+func takeValue(a A) func() int { return a.Do }
+
+func useBound() int {
+	f := func(n int) int { return fact(n) }
+	return f(3)
+}
+
+// use keeps every fixture reachable so the loader does not report unused
+// declarations under vet-style review.
+var use = []any{fact, ping, dispatch, takeValue, useBound, A{}, &B{}}

@@ -1,0 +1,80 @@
+// Package goroleak is golden testdata for the goroleak check: one
+// goroutine per lifecycle shape. StartLoop, StartDrain, and StartOnce have
+// provable stop paths; StartOwned is convention-managed but annotated;
+// StartLeak, StartBadOwner, Dangling, and Launch each violate one rule.
+package goroleak
+
+type W struct {
+	stop chan struct{}
+	in   chan int
+}
+
+func (w *W) Stop() { close(w.stop) }
+
+func (w *W) spin() {
+	for {
+	}
+}
+
+// StartLeak spins forever without ever blocking on a channel.
+func (w *W) StartLeak() {
+	go func() { // want "goroleak: goroutine has no provable stop path"
+		for {
+		}
+	}()
+}
+
+// StartLoop blocks on a select with no default: closing w.stop ends it.
+func (w *W) StartLoop() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartDrain ranges over a channel: closing w.in ends it.
+func (w *W) StartDrain() {
+	go func() {
+		for v := range w.in {
+			_ = v
+		}
+	}()
+}
+
+// StartOnce terminates: every loop it reaches is bounded.
+func (w *W) StartOnce() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+	}()
+}
+
+// StartOwned has no receive, but the annotation names its stopper.
+func (w *W) StartOwned() {
+	//repro:owns-goroutine (*W).Stop
+	go w.spin()
+}
+
+// StartBadOwner names a stopper that does not exist.
+func (w *W) StartBadOwner() {
+	//repro:owns-goroutine (*W).Halt // want "matches no declared function"
+	go w.spin()
+}
+
+// Dangling has an annotation with no go statement under it.
+func (w *W) Dangling() {
+	//repro:owns-goroutine (*W).Stop // want "matches no go statement"
+	_ = w
+}
+
+// Launch spawns through a parameter the call graph cannot resolve.
+func Launch(f func()) {
+	go f() // want "goroleak: goroutine spawns a function reprolint cannot resolve"
+}

@@ -1,0 +1,59 @@
+// Package hotalloc is golden testdata for the hotalloc check: Sum is
+// allocation-free through an unannotated helper (clean), and each flagged
+// function demonstrates one allocation class — direct builtin, fmt call,
+// capturing closure, transitive callee, interface boxing, string concat.
+package hotalloc
+
+import "fmt"
+
+//repro:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += scale(x)
+	}
+	return t
+}
+
+// scale is not annotated; it is verified through Sum's composition.
+func scale(x int) int { return x * 2 }
+
+//repro:noalloc
+func Describe() string {
+	return fmt.Sprint() // want "hotalloc: hot path hotalloc.Describe: calls fmt.Sprint, which allocates"
+}
+
+//repro:noalloc
+func Collect(xs []int) []int {
+	out := make([]int, 0, len(xs)) // want "hotalloc: hot path hotalloc.Collect: make allocates"
+	for _, x := range xs {
+		out = append(out, x) // want "hotalloc: hot path hotalloc.Collect: append may grow its backing array"
+	}
+	return out
+}
+
+//repro:noalloc
+func Indirect(x int) int {
+	f := func() int { return x } // want "hotalloc: hot path hotalloc.Indirect: closure captures enclosing variables and allocates"
+	return f()
+}
+
+//repro:noalloc
+func Via(xs []int) []int {
+	return grow(xs) // want "hotalloc: hot path hotalloc.Via calls hotalloc.grow, which allocates"
+}
+
+// grow allocates; Via is charged with it at the call site.
+func grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+//repro:noalloc
+func Boxed(x int) any {
+	return x // want "hotalloc: hot path hotalloc.Boxed: implicit conversion to interface allocates"
+}
+
+//repro:noalloc
+func Concat(a, b string) string {
+	return a + b // want "hotalloc: hot path hotalloc.Concat: string concatenation allocates"
+}

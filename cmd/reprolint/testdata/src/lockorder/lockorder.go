@@ -1,0 +1,54 @@
+// Package lockorder is golden testdata for the lockorder check: ab and
+// ba/lockA take the a/b pair in opposite orders across a call chain
+// (cycle), okOuter/okInner take a then c consistently (clean), and
+// again/relock re-acquires a mutex the caller already holds
+// (self-deadlock, a cycle of length one).
+package lockorder
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+
+func (s *S) ab() {
+	s.a.Lock()
+	s.b.Lock() // want "lockorder: lock-order cycle: lockorder.S.a → lockorder.S.b → lockorder.S.a"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) ba() {
+	s.b.Lock()
+	s.lockA()
+	s.b.Unlock()
+}
+
+func (s *S) lockA() {
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+func (s *S) okOuter() {
+	s.a.Lock()
+	s.okInner()
+	s.a.Unlock()
+}
+
+func (s *S) okInner() {
+	s.c.Lock()
+	s.c.Unlock()
+}
+
+func (s *S) again() {
+	s.c.Lock()
+	s.relock() // want "lockorder: lock-order cycle: lockorder.S.c → lockorder.S.c"
+	s.c.Unlock()
+}
+
+func (s *S) relock() {
+	s.c.Lock()
+	s.c.Unlock()
+}

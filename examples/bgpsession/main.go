@@ -79,6 +79,7 @@ func runSession(hardened bool) error {
 	fmt.Printf("session up: AS%d <-> AS%d\n", attacker.AS, attacker.PeerAS())
 
 	loopDone := make(chan error, 1)
+	//repro:owns-goroutine (*Speaker).Close
 	go func() {
 		loopDone <- server.ReadLoop(func(a bgp.Announcement) bool {
 			state := ix.Validate(a.Prefix, a.Origin())

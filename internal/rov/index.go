@@ -142,6 +142,8 @@ func (ix *Index) Len() int { return ix.size }
 // on the ancestor path covers p by construction, so the state tightens from
 // NotFound to Invalid at the first non-empty span and to Valid at the first
 // matching entry.
+//
+//repro:noalloc
 func validateOn(nodes []core.Node[span], root int32, entries []entry, p prefix.Prefix, origin rpki.ASN) State {
 	state := NotFound
 	idx := root
@@ -166,6 +168,8 @@ func validateOn(nodes []core.Node[span], root int32, entries []entry, p prefix.P
 }
 
 // Validate classifies route (p, origin) per RFC 6811.
+//
+//repro:noalloc
 func (ix *Index) Validate(p prefix.Prefix, origin rpki.ASN) State {
 	if !p.IsValid() {
 		return NotFound

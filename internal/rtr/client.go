@@ -160,6 +160,7 @@ func NewClientResume(nc net.Conn, st *SessionState) *Client {
 			c.haveTimers = true
 		}
 	}
+	//repro:owns-goroutine (*Client).Close
 	go c.dispatch()
 	return c
 }

@@ -66,8 +66,9 @@ func (c *conn) send(version byte, pdus ...PDU) error {
 	for _, p := range pdus {
 		// c.mu is per-connection, so one slow router only stalls its own
 		// handler/notify pair, not the whole cache; decoupling notify fan-out
-		// from the write path is tracked as ROADMAP item 2.
-		//lint:ignore blockinglock per-connection write lock; fan-out decoupling tracked in ROADMAP item 2
+		// from the write path is tracked by the ROADMAP's "cache server at
+		// router-population scale" item.
+		//lint:ignore blockinglock per-connection write lock; fan-out decoupling tracked by the ROADMAP's "cache server at router-population scale" item
 		if err := WritePDU(c.c, version, p); err != nil {
 			return err
 		}
@@ -214,6 +215,7 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		//repro:owns-goroutine (*Server).Close
 		go s.handle(nc)
 	}
 }
