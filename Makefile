@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-smoke bench-diff fuzz
+.PHONY: check fmt vet lint build test race bench bench-smoke bench-diff soak soak-smoke fuzz
 
 # check is the CI gate: formatting, vet, the repo-invariant lint, build, and
 # the race-enabled tests.
@@ -40,18 +40,43 @@ race:
 
 # BENCH_JSON is where bench archives its parsed results (committed to the
 # repo so the perf trajectory across PRs is tracked in-tree).
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
 
-# bench runs the in-package core and rov benchmarks plus the paper-evaluation
-# benches; -count=1 defeats test caching so numbers are always fresh. The raw
-# output is parsed into $(BENCH_JSON) by cmd/benchjson.
+# bench runs the in-package core, rov, and rtr benchmarks plus the
+# paper-evaluation benches; -count=1 defeats test caching so numbers are
+# always fresh. A moderate rtrload soak rides along so the archive carries
+# end-to-end serving latency next to the micro numbers (the full-scale soak
+# is the separate `make soak`). The raw output is parsed into $(BENCH_JSON)
+# by cmd/benchjson.
+# The rider soak is sized for the single-CPU dev container: 500 pollers at
+# 250ms churn is ~2000 incremental syncs/s, which one core carries without
+# starving pollers into the server's (correct) overload shedding; crank the
+# knobs on real hardware.
+RTRLOAD_CLIENTS ?= 500
+RTRLOAD_DURATION ?= 10s
+RTRLOAD_INTERVAL ?= 250ms
+RTRLOAD_VRPS ?= 20000
 bench:
 	@rm -f bench.out
-	$(GO) test -run='^$$' -bench=. -benchmem -count=1 ./internal/core/ ./internal/rov/ . > bench.out 2>&1; \
+	$(GO) test -run='^$$' -bench=. -benchmem -count=1 ./internal/core/ ./internal/rov/ ./internal/rtr/ . > bench.out 2>&1; \
 		status=$$?; cat bench.out; \
 		if [ $$status -ne 0 ]; then rm -f bench.out; exit $$status; fi
+	$(GO) run ./cmd/rtrload -clients $(RTRLOAD_CLIENTS) -duration $(RTRLOAD_DURATION) \
+		-vrps $(RTRLOAD_VRPS) -churn 64 -interval $(RTRLOAD_INTERVAL) -bench-out bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON)
 	@rm -f bench.out
+
+# soak is the full router-population acceptance run: thousands of pollers,
+# sustained churn, a handful of wedged routers the cache must shed without
+# the publish path noticing. soak-smoke is the small configuration CI runs
+# on every push.
+soak:
+	$(GO) run ./cmd/rtrload -clients 2000 -duration 60s -vrps 50000 -churn 64 \
+		-interval 1s -stall 8 -write-timeout 5s
+
+soak-smoke:
+	$(GO) run ./cmd/rtrload -clients 200 -duration 10s -vrps 10000 -churn 32 \
+		-interval 100ms -stall 2 -write-timeout 2s
 
 # bench-smoke is the quick pipeline-regression gate CI runs: the core and rov
 # micro benches and the headline compression bench at a handful of iterations.
@@ -79,13 +104,13 @@ bench-smoke:
 # inside the window is a scheduler coin flip and ns/op on identical code
 # spans well past the ordinary threshold (measured: 2.9–6.3 µs for the same
 # binary); they get the looser BENCH_THRESHOLD_TIME_NOISY gate.
-BENCH_OLD ?= BENCH_PR7.json
+BENCH_OLD ?= BENCH_PR8.json
 BENCH_NEW ?= $(BENCH_JSON)
 BENCH_THRESHOLD ?= 50
 BENCH_THRESHOLD_MEM ?= 10
 BENCH_THRESHOLD_TIME_NOISY ?= 200
 BENCH_MEM_NOISY ?= repro.BenchmarkAblationParallelism/*,repro.BenchmarkLiveIndexDelta/*,repro/internal/rov.BenchmarkLiveApply
-BENCH_TIME_NOISY ?= repro.BenchmarkLiveIndexDelta/*,repro/internal/rov.BenchmarkLiveApply
+BENCH_TIME_NOISY ?= repro.BenchmarkLiveIndexDelta/*,repro/internal/rov.BenchmarkLiveApply,repro/cmd/rtrload.BenchmarkRTRLoad/*
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) \
 		-threshold-bytes $(BENCH_THRESHOLD_MEM) -threshold-allocs $(BENCH_THRESHOLD_MEM) \

@@ -164,6 +164,16 @@ func TestSuppressionInventory(t *testing.T) {
 					if !known[c] {
 						t.Errorf("%s: suppression names unregistered check %q", d.pos, c)
 					}
+					// The RTR server's writer-pool rework removed the last
+					// blockinglock suppression (a publisher that wrote to
+					// router sockets under its own lock). The check's
+					// invariant now holds everywhere unaided; a new
+					// suppression would mean a publish path blocking on I/O
+					// again and needs that design argument re-made, not a
+					// directive.
+					if c == "blockinglock" {
+						t.Errorf("%s: blockinglock suppression reintroduced; hold-and-write designs were retired with the RTR writer pool", d.pos)
+					}
 				}
 			}
 		}

@@ -276,3 +276,34 @@ func (ix *Index) AppendVRPs(dst []rpki.VRP) []rpki.VRP {
 	}
 	return dst
 }
+
+// VisitVRPs streams the indexed VRP set to fn in the same per-family
+// canonical prefix order as AppendVRPs, without materializing a slice — the
+// RTR server's full-table responses encode each VRP as it is visited. fn
+// returning false stops delivery (the underlying walk still finishes, so an
+// early stop saves fn calls, not traversal).
+func (ix *Index) VisitVRPs(fn func(rpki.VRP) bool) {
+	stopped := false
+	for slot := range ix.fams {
+		f := &ix.fams[slot]
+		if stopped || len(f.eng.Nodes) == 0 {
+			continue
+		}
+		rootPfx, err := prefix.Make(slotFamily(slot), 0, 0, 0)
+		if err != nil {
+			panic(err) // unreachable: slotFamily yields valid families
+		}
+		f.eng.Walk(f.root, rootPfx, func(idx int32, p prefix.Prefix) {
+			if stopped {
+				return
+			}
+			sp := f.eng.Nodes[idx].Val
+			for _, e := range ix.entries[sp.off : sp.off+sp.n] {
+				if !fn(rpki.VRP{Prefix: p, MaxLength: e.maxLength, AS: e.as}) {
+					stopped = true
+					return
+				}
+			}
+		})
+	}
+}

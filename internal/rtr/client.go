@@ -29,14 +29,21 @@ type Client struct {
 	// before the first exchange.
 	Version byte
 
-	// OnDelta, when set, receives each completed update's applied delta
-	// exactly like a subscriber registered ahead of all Subscribe consumers.
+	// OnDelta, when set, receives each completed non-empty update's applied
+	// delta synchronously on the dispatch goroutine, before the producing
+	// Sync or Reset returns — the original (pre-fan-out) delivery contract.
 	//
-	// Deprecated: use Subscribe, which supports multiple consumers. OnDelta
-	// remains as a thin compatibility wrapper: the dispatch loop delivers to
-	// it first, then to each Subscribe consumer in registration order. Set it
-	// before the first sync and do not change it while syncs are in flight.
+	// Deprecated: use Subscribe, which supports multiple consumers and does
+	// not stall the dispatch loop while a consumer runs. Set OnDelta before
+	// the first sync and do not change it while syncs are in flight.
 	OnDelta func(announced, withdrawn []rpki.VRP)
+
+	// SubscribeQueue bounds each subscriber's pending-update queue (default
+	// 16). A consumer that falls further behind has its oldest pending
+	// updates coalesced pairwise — net effect preserved — rather than
+	// blocking the dispatch loop or dropping deltas. Set before the first
+	// Subscribe call.
+	SubscribeQueue int
 
 	conn net.Conn
 
@@ -56,8 +63,9 @@ type Client struct {
 	// fullSyncs counts committed full (Reset Query) exchanges; a resumed
 	// client that syncs with it still zero resumed purely by Serial Query.
 	fullSyncs int
-	// subs are the Subscribe consumers, invoked in registration order.
-	subs []func(announced, withdrawn []rpki.VRP)
+	// subs are the Subscribe/SubscribeUpdates consumers, each with its own
+	// drainer goroutine and bounded queue.
+	subs []*subscriber
 	// req is the at-most-one in-flight exchange; nil while idle.
 	req *request
 	// err is the sticky failure recorded when the dispatch loop dies.
@@ -214,28 +222,211 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// Subscribe registers fn as a delta consumer: after every completed update it
-// receives the VRPs the update actually added to and removed from the local
-// table (announces already present and withdrawals of absent VRPs are
-// excluded; on a full reset the delta is relative to the table being
-// replaced). This is how a validation index — rov.LiveIndex — follows the
-// table in O(delta) instead of rebuilding from Set after every sync.
+// Update is one committed sync delivered to SubscribeUpdates consumers:
+// the VRPs the update actually added to and removed from the local table
+// (announces already present and withdrawals of absent VRPs are excluded;
+// on a full reset the delta is relative to the table being replaced). Full
+// marks a Reset Query exchange — a consumer tracking session continuity can
+// tell a table replacement from an incremental delta even when the delta
+// happens to be empty. Consumers must not mutate the slices: coalesced
+// updates may share them with other subscribers.
+type Update struct {
+	Announced, Withdrawn []rpki.VRP
+	Full                 bool
+}
+
+// Subscribe registers fn as a delta consumer: after every completed update
+// with a non-empty delta it receives the VRPs the update added and removed.
+// This is how a validation index — rov.LiveIndex — follows the table in
+// O(delta) instead of rebuilding from Set after every sync.
 //
-// Delivery-order guarantee: the dispatch goroutine invokes every consumer
-// sequentially in registration order (the deprecated OnDelta hook first),
-// with the deltas of successive updates delivered in commit order, and the
-// full delivery completes before the Sync or Reset call that produced it
-// returns. No two invocations ever overlap, so consumers need no locking
-// against one another. A consumer must not call back into the Client and
-// should return promptly: while it runs, no further PDUs are read from the
-// connection.
+// Backpressure contract: each consumer runs on its own drainer goroutine
+// fed by a bounded queue (SubscribeQueue), so a slow or blocking consumer
+// never stalls the dispatch loop — PDUs, notifies, and other consumers keep
+// flowing. Per-consumer delivery stays sequential and in commit order (no
+// two invocations of one consumer ever overlap), but delivery is
+// asynchronous: it may complete after the Sync or Reset call that produced
+// the update returns (FlushSubscribers waits for it), and different
+// consumers observe the same update at different times. A consumer that
+// falls more than SubscribeQueue updates behind has its oldest pending
+// updates coalesced pairwise into their exact net effect — it sees fewer,
+// larger updates, never a lost or reordered delta. Consumers may read
+// Client state but must not call Sync, Reset, Close, or FlushSubscribers.
 //
-// A consumer registered after updates have been applied sees only subsequent
-// deltas; register before the first sync to observe the full table history.
+// A consumer registered after updates have been applied sees only
+// subsequent deltas; register before the first sync to observe the full
+// table history.
 func (c *Client) Subscribe(fn func(announced, withdrawn []rpki.VRP)) {
+	c.SubscribeUpdates(func(u Update) {
+		if len(u.Announced) == 0 && len(u.Withdrawn) == 0 {
+			return
+		}
+		fn(u.Announced, u.Withdrawn)
+	})
+}
+
+// SubscribeUpdates registers fn as an update consumer with the same
+// backpressure contract as Subscribe, but delivering the full Update value:
+// fn additionally sees empty full-reset updates (Full set, no delta), which
+// Subscribe filters out — the signal a reconnect supervisor needs to tell
+// "resynced to an identical (possibly empty) table" from "nothing
+// happened".
+func (c *Client) SubscribeUpdates(fn func(Update)) {
+	sub := &subscriber{c: c, fn: fn, wake: make(chan struct{}, 1)}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.subs = append(c.subs, fn)
+	c.subs = append(c.subs, sub)
+	c.mu.Unlock()
+	//repro:owns-goroutine (*Client).Close
+	go sub.run()
+}
+
+// FlushSubscribers blocks until every update committed before the call has
+// been delivered to every subscriber — the synchronization point for
+// callers that need delivery to have happened (a supervisor reading a
+// subscriber-fed mirror, a test asserting on consumer state). It must not
+// be called from a consumer, which would wait on its own queue.
+func (c *Client) FlushSubscribers() {
+	c.mu.Lock()
+	subs := make([]*subscriber, len(c.subs))
+	copy(subs, c.subs)
+	c.mu.Unlock()
+	for _, sub := range subs {
+		sub.flush()
+	}
+}
+
+// subscriber is one Subscribe/SubscribeUpdates consumer: a bounded pending
+// queue and the drainer goroutine that owns delivery to fn.
+type subscriber struct {
+	c  *Client
+	fn func(Update)
+
+	mu sync.Mutex
+	q  []Update
+	// inFlight is true while the drainer is executing fn on a popped update;
+	// the queue being empty means "delivered" only once it is false again.
+	inFlight bool
+	// flushWaiters are closed by the drainer when it observes an empty queue
+	// with no delivery in flight.
+	flushWaiters []chan struct{}
+	// wake carries one token from enqueue to the parked drainer. Capacity 1:
+	// a dropped token means one is already pending, and the drainer rechecks
+	// the queue after consuming it.
+	wake chan struct{}
+}
+
+// enqueue appends u to the pending queue, coalescing into the newest
+// pending update when the consumer is depth behind. Called by the dispatch
+// goroutine with no Client locks held.
+func (sub *subscriber) enqueue(u Update, depth int) {
+	sub.mu.Lock()
+	if len(sub.q) >= depth {
+		sub.q[len(sub.q)-1] = coalesceUpdates(sub.q[len(sub.q)-1], u)
+	} else {
+		sub.q = append(sub.q, u)
+	}
+	sub.mu.Unlock()
+	select {
+	case sub.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the drainer: pop and deliver pending updates in order, release
+// flush waiters whenever the queue runs dry, park on wake, and exit once
+// the client is done and everything pending has been delivered.
+func (sub *subscriber) run() {
+	for {
+		sub.mu.Lock()
+		sub.inFlight = false
+		if len(sub.q) == 0 {
+			for _, ch := range sub.flushWaiters {
+				close(ch)
+			}
+			sub.flushWaiters = nil
+			done := false
+			select {
+			case <-sub.c.done:
+				done = true
+			default:
+			}
+			sub.mu.Unlock()
+			if done {
+				return
+			}
+			select {
+			case <-sub.wake:
+			case <-sub.c.done:
+			}
+			continue
+		}
+		u := sub.q[0]
+		copy(sub.q, sub.q[1:])
+		sub.q[len(sub.q)-1] = Update{}
+		sub.q = sub.q[:len(sub.q)-1]
+		sub.inFlight = true
+		sub.mu.Unlock()
+		sub.fn(u)
+	}
+}
+
+// flush blocks until the queue is empty with no delivery in flight. Updates
+// are only enqueued by the dispatch goroutine, which stops before the
+// client's done channel closes — so the drainer always lives long enough to
+// release every waiter registered here.
+func (sub *subscriber) flush() {
+	sub.mu.Lock()
+	if len(sub.q) == 0 && !sub.inFlight {
+		sub.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	sub.flushWaiters = append(sub.flushWaiters, ch)
+	sub.mu.Unlock()
+	<-ch
+}
+
+// coalesceUpdates folds two consecutive updates into their exact net
+// effect: a VRP announced by a and withdrawn by b (or vice versa) cancels;
+// everything else carries through. The two announce sets — like the two
+// withdraw sets — are disjoint by construction (b's delta is relative to
+// the table after a), so the union needs no dedup.
+func coalesceUpdates(a, b Update) Update {
+	inB := func(vs []rpki.VRP) map[rpki.VRP]struct{} {
+		if len(vs) == 0 {
+			return nil
+		}
+		m := make(map[rpki.VRP]struct{}, len(vs))
+		for _, v := range vs {
+			m[v] = struct{}{}
+		}
+		return m
+	}
+	bwd, bann := inB(b.Withdrawn), inB(b.Announced)
+	awd, aann := inB(a.Withdrawn), inB(a.Announced)
+	var out Update
+	out.Full = a.Full || b.Full
+	for _, v := range a.Announced {
+		if _, ok := bwd[v]; !ok {
+			out.Announced = append(out.Announced, v)
+		}
+	}
+	for _, v := range b.Announced {
+		if _, ok := awd[v]; !ok {
+			out.Announced = append(out.Announced, v)
+		}
+	}
+	for _, v := range a.Withdrawn {
+		if _, ok := bann[v]; !ok {
+			out.Withdrawn = append(out.Withdrawn, v)
+		}
+	}
+	for _, v := range b.Withdrawn {
+		if _, ok := aann[v]; !ok {
+			out.Withdrawn = append(out.Withdrawn, v)
+		}
+	}
+	return out
 }
 
 // Timers returns the Refresh/Retry/Expire intervals advertised by the cache
@@ -494,15 +685,13 @@ func (c *Client) advance(req *request, pdu PDU, version byte) (finished bool, ex
 
 // commit applies a completed update on the dispatch goroutine: it swaps in
 // the new table state, adopts version-1 timers, drops a now-stale pending
-// notify, and delivers the applied delta to OnDelta and every subscriber —
-// sequentially, which is the delivery-order guarantee Subscribe documents.
+// notify, delivers the applied delta synchronously to OnDelta, and enqueues
+// it on every subscriber's drainer queue. Non-full updates with an empty
+// delta are not delivered at all; a full update is always enqueued (even
+// empty), carrying the Full marker SubscribeUpdates documents.
 func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 	c.mu.Lock()
-	hooks := make([]func(announced, withdrawn []rpki.VRP), 0, len(c.subs)+1)
-	if c.OnDelta != nil {
-		hooks = append(hooks, c.OnDelta)
-	}
-	hooks = append(hooks, c.subs...)
+	wantDelta := c.OnDelta != nil || len(c.subs) > 0
 	var ann, wd []rpki.VRP
 	if req.full {
 		// Replace the table; the delta reported to consumers is the
@@ -513,7 +702,7 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 		for _, v := range req.withdrawals {
 			delete(next, v)
 		}
-		if len(hooks) > 0 {
+		if wantDelta {
 			for v := range c.vrps {
 				if _, ok := next[v]; !ok {
 					wd = append(wd, v)
@@ -530,7 +719,7 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 		for v := range req.staged {
 			if _, ok := c.vrps[v]; !ok {
 				c.vrps[v] = struct{}{}
-				if len(hooks) > 0 {
+				if wantDelta {
 					ann = append(ann, v)
 				}
 			}
@@ -538,7 +727,7 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 		for _, v := range req.withdrawals {
 			if _, ok := c.vrps[v]; ok {
 				delete(c.vrps, v)
-				if len(hooks) > 0 {
+				if wantDelta {
 					wd = append(wd, v)
 				}
 			}
@@ -554,11 +743,22 @@ func (c *Client) commit(req *request, eod *EndOfData, version byte) {
 		c.refresh, c.retry, c.expire = eod.Refresh, eod.Retry, eod.Expire
 		c.haveTimers = true
 	}
+	onDelta := c.OnDelta
+	subs := make([]*subscriber, len(c.subs))
+	copy(subs, c.subs)
+	depth := c.SubscribeQueue
 	c.mu.Unlock()
+	if depth <= 0 {
+		depth = 16
+	}
 	c.dropStaleNotify(eod.Serial)
-	if len(ann) > 0 || len(wd) > 0 {
-		for _, hook := range hooks {
-			hook(ann, wd)
+	if onDelta != nil && (len(ann) > 0 || len(wd) > 0) {
+		onDelta(ann, wd)
+	}
+	if req.full || len(ann) > 0 || len(wd) > 0 {
+		u := Update{Announced: ann, Withdrawn: wd, Full: req.full}
+		for _, sub := range subs {
+			sub.enqueue(u, depth)
 		}
 	}
 }

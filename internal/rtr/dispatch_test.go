@@ -107,10 +107,11 @@ func TestConcurrentSyncResetDispatch(t *testing.T) {
 	}
 }
 
-// TestSubscribeMultipleConsumers pins the Subscribe contract: every
-// registered consumer — and the deprecated OnDelta hook, first — sees every
-// applied delta exactly once, sequentially, in registration order, with
-// delivery completing before the Sync that produced it returns. A second
+// TestSubscribeMultipleConsumers pins the post-fan-out Subscribe contract:
+// every registered consumer sees every applied non-empty delta exactly once
+// and in commit order on its own drainer goroutine; the deprecated OnDelta
+// hook still fires synchronously before Sync returns; and FlushSubscribers
+// is the point after which consumer state may be asserted on. A second
 // consumer keeps simple counters, the cmd/rtrclient pattern.
 func TestSubscribeMultipleConsumers(t *testing.T) {
 	set := testVRPs()
@@ -124,16 +125,19 @@ func TestSubscribeMultipleConsumers(t *testing.T) {
 	}
 	defer c.Close()
 
-	// Delivery is serialized on the dispatch goroutine and happens-before
-	// Sync returns, so none of this state needs locking.
-	var order []string
-	mirror := map[rpki.VRP]struct{}{}
-	var announced, withdrawn int
+	// OnDelta keeps the synchronous contract: delivery on the dispatch
+	// goroutine happens-before Sync returns, no locking needed.
+	onDeltaCalls := 0
 	c.OnDelta = func(ann, wd []rpki.VRP) {
-		order = append(order, "ondelta")
+		onDeltaCalls++
 	}
+	// Subscribe consumers each run on their own drainer goroutine: their
+	// state is read only after FlushSubscribers, which is the documented
+	// synchronization point, so plain fields are still race-free.
+	mirror := map[rpki.VRP]struct{}{}
+	mirrorDeliveries := 0
 	c.Subscribe(func(ann, wd []rpki.VRP) {
-		order = append(order, "mirror")
+		mirrorDeliveries++
 		for _, v := range ann {
 			if _, ok := mirror[v]; ok {
 				t.Errorf("announced already-present VRP %s", v)
@@ -147,20 +151,18 @@ func TestSubscribeMultipleConsumers(t *testing.T) {
 			delete(mirror, v)
 		}
 	})
+	var announced, withdrawn, counterDeliveries int
 	c.Subscribe(func(ann, wd []rpki.VRP) {
-		order = append(order, "counter")
+		counterDeliveries++
 		announced += len(ann)
 		withdrawn += len(wd)
 	})
-	wantOrder := func(want ...string) {
+	checkDeliveries := func(want int) {
 		t.Helper()
-		if len(order) != len(want) {
-			t.Fatalf("delivery order %v, want %v", order, want)
-		}
-		for i := range want {
-			if order[i] != want[i] {
-				t.Fatalf("delivery order %v, want %v", order, want)
-			}
+		c.FlushSubscribers()
+		if onDeltaCalls != want || mirrorDeliveries != want || counterDeliveries != want {
+			t.Fatalf("deliveries ondelta/mirror/counter = %d/%d/%d, want %d each",
+				onDeltaCalls, mirrorDeliveries, counterDeliveries, want)
 		}
 	}
 	checkMirror := func() {
@@ -177,14 +179,17 @@ func TestSubscribeMultipleConsumers(t *testing.T) {
 	if _, err := c.Sync(); err != nil { // initial full sync
 		t.Fatal(err)
 	}
-	wantOrder("ondelta", "mirror", "counter")
+	if onDeltaCalls != 1 {
+		t.Fatalf("OnDelta fired %d times before Sync returned, want 1 (synchronous contract)", onDeltaCalls)
+	}
+	checkDeliveries(1)
 	checkMirror()
 	if announced != set.Len() || withdrawn != 0 {
 		t.Fatalf("counters after full sync: +%d -%d, want +%d -0", announced, withdrawn, set.Len())
 	}
 
-	// Incremental update: one VRP dropped, one added; all consumers fire
-	// again, same order.
+	// Incremental update: one VRP dropped, one added; every consumer sees
+	// exactly one more delta.
 	next := rpki.NewSet(append(set.VRPs()[1:],
 		rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 7}))
 	srv.UpdateSet(next)
@@ -194,16 +199,100 @@ func TestSubscribeMultipleConsumers(t *testing.T) {
 	if _, err := c.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	wantOrder("ondelta", "mirror", "counter", "ondelta", "mirror", "counter")
+	checkDeliveries(2)
 	checkMirror()
 	if announced != set.Len()+1 || withdrawn != 1 {
 		t.Fatalf("counters after incremental sync: +%d -%d, want +%d -1", announced, withdrawn, set.Len()+1)
 	}
 
-	// A no-op sync delivers nothing.
+	// A no-op incremental sync delivers nothing.
 	if _, err := c.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	wantOrder("ondelta", "mirror", "counter", "ondelta", "mirror", "counter")
+	checkDeliveries(2)
 	checkMirror()
+}
+
+// TestSubscribeSlowConsumerBackpressure pins the fan-out's backpressure
+// semantics: a consumer that blocks does not stall the dispatch loop (other
+// consumers and Sync keep making progress), and once it falls more than
+// SubscribeQueue updates behind, its pending updates coalesce to their
+// exact net effect — fewer, larger deliveries; no delta lost.
+func TestSubscribeSlowConsumerBackpressure(t *testing.T) {
+	set := testVRPs()
+	srv := NewServer(set)
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SubscribeQueue = 2
+
+	// The slow consumer parks on a gate after its first delivery; its
+	// mirror applies every delta it eventually sees.
+	gate := make(chan struct{})
+	slowMirror := map[rpki.VRP]struct{}{}
+	slowDeliveries := 0
+	c.Subscribe(func(ann, wd []rpki.VRP) {
+		slowDeliveries++
+		if slowDeliveries == 1 {
+			<-gate
+		}
+		for _, v := range ann {
+			if _, ok := slowMirror[v]; ok {
+				t.Errorf("slow consumer: announced already-present VRP %s", v)
+			}
+			slowMirror[v] = struct{}{}
+		}
+		for _, v := range wd {
+			if _, ok := slowMirror[v]; !ok {
+				t.Errorf("slow consumer: withdrew absent VRP %s", v)
+			}
+			delete(slowMirror, v)
+		}
+	})
+	fastDeliveries := 0
+	c.Subscribe(func(ann, wd []rpki.VRP) { fastDeliveries++ })
+
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// With the slow consumer wedged in delivery #1, run many more updates
+	// than its queue holds. Sync must keep returning — the dispatch loop is
+	// not stalled — and the fast consumer must see every delta.
+	const updates = 8
+	cur := set
+	for i := 0; i < updates; i++ {
+		cur = rpki.NewSet(append(cur.VRPs(),
+			rpki.VRP{Prefix: mp("10.0.0.0/8"), MaxLength: uint8(8 + i), AS: rpki.ASN(400 + i)}))
+		srv.UpdateSet(cur)
+		if _, err := c.WaitNotify(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	c.FlushSubscribers()
+
+	if fastDeliveries != updates+1 {
+		t.Errorf("fast consumer saw %d deliveries, want %d", fastDeliveries, updates+1)
+	}
+	// The slow consumer saw the wedged delivery plus at most SubscribeQueue
+	// coalesced ones — strictly fewer than the update count — and its
+	// mirror still converged to the exact final table.
+	if slowDeliveries > 1+2 || slowDeliveries < 2 {
+		t.Errorf("slow consumer saw %d deliveries, want 2..3 (coalesced)", slowDeliveries)
+	}
+	vrps := make([]rpki.VRP, 0, len(slowMirror))
+	for v := range slowMirror {
+		vrps = append(vrps, v)
+	}
+	if got := rpki.NewSet(vrps); !got.Equal(cur) {
+		t.Fatalf("slow consumer mirror has %d VRPs, want %d — a coalesced delta was lost", got.Len(), cur.Len())
+	}
 }

@@ -268,10 +268,12 @@ func (m *MultiSupervisor) Run() error {
 				logf("[%s] %s", name, fmt.Sprintf(format, args...))
 			}
 		}
-		// Ordering within one upstream: the subscriber relay runs on the
-		// dispatch goroutine before the producing sync returns, OnReset and
-		// OnUpdate on the supervisor goroutine after it — so the mirror
-		// always holds the synced table by the time a switch can pick it.
+		// Ordering within one upstream: client subscribers now deliver on
+		// their own drainer goroutines, but the supervisor flushes them
+		// before running OnUpdate (and before OnDown at generation end), so
+		// this relay still completes before OnReset/OnUpdate fire on the
+		// supervisor goroutine — the mirror always holds the synced table by
+		// the time a switch can pick it.
 		sup.Subscribe(func(announced, withdrawn []rpki.VRP) {
 			u.mirror.Apply(announced, withdrawn)
 			m.reconcile(i)

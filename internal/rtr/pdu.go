@@ -196,29 +196,38 @@ func (p *CacheResponse) write(w io.Writer, version byte) error {
 }
 
 func (p *Prefix) write(w io.Writer, version byte) error {
+	var buf [32]byte
+	_, err := w.Write(appendPrefix(buf[:0], version, p))
+	return err
+}
+
+// appendPrefix appends the wire encoding of an IPv4/IPv6 Prefix PDU to buf
+// and returns the extended slice. It is the encoder behind (*Prefix).write,
+// exposed in append form so full-table streaming can encode tens of
+// thousands of prefixes through one reused buffer: handing a stack array to
+// an io.Writer forces it to escape, which costs an allocation per PDU.
+func appendPrefix(buf []byte, version byte, p *Prefix) []byte {
 	v := p.VRP
 	hi, lo := v.Prefix.Bits()
 	if v.Prefix.Family() == prefix.IPv4 {
-		var buf [20]byte
-		writeHeader(buf[:], version, TypeIPv4Prefix, 0, 20)
-		buf[8] = p.Flags
-		buf[9] = v.Prefix.Len()
-		buf[10] = v.MaxLength
-		binary.BigEndian.PutUint32(buf[12:], uint32(hi>>32))
-		binary.BigEndian.PutUint32(buf[16:], uint32(v.AS))
-		_, err := w.Write(buf[:])
-		return err
+		var b [20]byte
+		writeHeader(b[:], version, TypeIPv4Prefix, 0, 20)
+		b[8] = p.Flags
+		b[9] = v.Prefix.Len()
+		b[10] = v.MaxLength
+		binary.BigEndian.PutUint32(b[12:], uint32(hi>>32))
+		binary.BigEndian.PutUint32(b[16:], uint32(v.AS))
+		return append(buf, b[:]...)
 	}
-	var buf [32]byte
-	writeHeader(buf[:], version, TypeIPv6Prefix, 0, 32)
-	buf[8] = p.Flags
-	buf[9] = v.Prefix.Len()
-	buf[10] = v.MaxLength
-	binary.BigEndian.PutUint64(buf[12:], hi)
-	binary.BigEndian.PutUint64(buf[20:], lo)
-	binary.BigEndian.PutUint32(buf[28:], uint32(v.AS))
-	_, err := w.Write(buf[:])
-	return err
+	var b [32]byte
+	writeHeader(b[:], version, TypeIPv6Prefix, 0, 32)
+	b[8] = p.Flags
+	b[9] = v.Prefix.Len()
+	b[10] = v.MaxLength
+	binary.BigEndian.PutUint64(b[12:], hi)
+	binary.BigEndian.PutUint64(b[20:], lo)
+	binary.BigEndian.PutUint32(b[28:], uint32(v.AS))
+	return append(buf, b[:]...)
 }
 
 func (p *EndOfData) write(w io.Writer, version byte) error {

@@ -348,6 +348,40 @@ func TestKeepDeltasEvictionBoundary(t *testing.T) {
 	}
 }
 
+// diffSets computes the announce/withdraw delta between two full sets by a
+// linear dual walk in canonical order. It was the server's UpdateSet diff
+// until the rov.Diff snapshot path replaced it; it stays here as the
+// independent reference implementation the differential tests check the
+// structural diff against.
+func diffSets(old, next *rpki.Set) []Prefix {
+	var out []Prefix
+	a, b := old.VRPs(), next.VRPs()
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i >= len(a):
+			out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
+			j++
+		case j >= len(b):
+			out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
+			i++
+		default:
+			switch c := a[i].Compare(b[j]); {
+			case c == 0:
+				i++
+				j++
+			case c < 0:
+				out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
+				i++
+			default:
+				out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
+				j++
+			}
+		}
+	}
+	return out
+}
+
 func TestDiffSets(t *testing.T) {
 	a := rpki.NewSet([]rpki.VRP{
 		{Prefix: mp("10.0.0.0/8"), MaxLength: 8, AS: 1},

@@ -1,10 +1,13 @@
 package rtr
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/rov"
 	"repro/internal/rpki"
@@ -15,12 +18,25 @@ import (
 // assigns serial numbers to updates, answers Serial Queries with incremental
 // deltas when it can, and pushes Serial Notify PDUs when the data changes.
 //
+// The server is built for router-population scale (ROADMAP item 2): every
+// piece of state a response needs lives in one immutable published value
+// swapped atomically on each update, so the read paths — full responses,
+// serial-query answers, notifies — never take a server-wide lock. Sessions
+// live in a sharded registry, and all writes to routers flow through
+// per-connection bounded outbound queues drained by a fixed writer pool:
+// publishing is queue handoff, never socket I/O, so one stalled router
+// cannot slow an update down. A router that stops draining its TCP side
+// either overflows its queue or exceeds the write deadline, and is
+// disconnected; a healthy RFC 8210 router simply redials and resumes with a
+// Serial Query.
+//
 // The cache stores no delta chains: each update's table goes into a short
 // ring of immutable rov snapshots sharing one arena lineage, and the answer
-// to a Serial Query is synthesized on demand as the structural diff between
-// the router's retained snapshot and the current one — exact between any two
-// retained serials, O(changed) in the snapshots' divergence, and free of
-// serial arithmetic (the ring is searched by serial equality).
+// to a Serial Query is synthesized at write time as the structural diff
+// between the router's retained snapshot and the current one — exact
+// between any two retained serials, O(changed) in the snapshots'
+// divergence, and free of serial arithmetic (the ring is searched by serial
+// equality).
 type Server struct {
 	// Timers advertised in version-1 End of Data PDUs (seconds). Zero values
 	// are replaced by the RFC 8210 suggested defaults.
@@ -30,20 +46,108 @@ type Server struct {
 	// KeepDeltas bounds how many past serials remain answerable by
 	// incremental updates (older Serial Queries get Cache Reset). Default 16.
 	KeepDeltas int
+	// Writers is the size of the writer pool draining the per-connection
+	// outbound queues. Default 4. Set before Serve.
+	Writers int
+	// QueueDepth bounds each connection's outbound response queue. A router
+	// that queues more unanswered queries than this — it is sending queries
+	// without reading responses — is disconnected. Serial Notifies do not
+	// count against the bound: the notify mailbox coalesces to the newest
+	// serial and can never overflow. Default 32. Set before Serve.
+	QueueDepth int
+	// WriteTimeout bounds each queued write (one PDU, or one streamed
+	// response). A router whose TCP receive window stays closed past it is
+	// disconnected instead of pinning a pool writer forever. Default 30s.
+	// Set before Serve.
+	WriteTimeout time.Duration
 
-	mu        sync.Mutex
-	sessionID uint16
-	serial    Serial
-	current   *rpki.Set
-	// live mirrors current as a persistent-snapshot index; its retained
+	// pub is the published state: session, serial, and the snapshot ring,
+	// one immutable value shared by every session and swapped atomically by
+	// publishers. Readers Load it once and answer from that coherent view.
+	pub atomic.Pointer[published]
+	// writeMu serializes publishers (UpdateSet, ApplyDelta, SetSession);
+	// readers never take it.
+	writeMu sync.Mutex
+	// live applies each delta as a persistent-snapshot update; its retained
 	// snapshots share an arena lineage, which is what makes the on-demand
 	// serial-to-serial diff structural instead of a full table walk.
-	live  *rov.LiveIndex
-	snaps []serialSnapshot // oldest first; last is the current serial's table
-	conns map[*conn]struct{}
+	live *rov.LiveIndex
 
+	// shards is the session registry: connections hash across fixed shards,
+	// so connect/disconnect contends on 1/connShards of the registry and a
+	// notify broadcast never holds more than one shard lock at a time.
+	shards [connShards]connShard
+
+	// The writer pool: conns with pending output wait in dispatchQ (each at
+	// most once — conn.scheduled), and wake carries one token per parked
+	// writer. Tokens are sent after the queue append and dropped when the
+	// channel is full, which is safe: a full channel means enough pending
+	// tokens to re-check the queue after the append in any interleaving.
+	dispatchMu sync.Mutex
+	dispatchQ  []*conn
+	wake       chan struct{}
+	stopCh     chan struct{}
+	startPool  sync.Once
+	writerWG   sync.WaitGroup
+
+	stateMu  sync.Mutex
 	listener net.Listener
 	closed   bool
+
+	nextShard atomic.Uint32
+}
+
+// connShards is the session-registry shard count. Fixed: shards exist to
+// split lock contention, not to be tuned.
+const connShards = 16
+
+// connShard is one registry shard. closed flips under mu during Server.Close
+// so a connection racing the shutdown sweep can never register unnoticed.
+type connShard struct {
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+}
+
+func (sh *connShard) add(c *conn) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return false
+	}
+	sh.conns[c] = struct{}{}
+	return true
+}
+
+func (sh *connShard) remove(c *conn) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.conns, c)
+}
+
+// published is the immutable publish state. Publishers build a fresh value
+// (including a fresh snaps slice) and swap the pointer; a stored value is
+// never mutated again, so lock-free readers see a coherent session, serial,
+// and ring.
+type published struct {
+	session uint16
+	serial  Serial
+	snaps   []serialSnapshot // oldest first; last is the current serial's table
+}
+
+// current returns the table at the published serial.
+func (p *published) current() *rov.Index { return p.snaps[len(p.snaps)-1].table }
+
+// lookup returns the retained table at serial, or nil when it has been
+// evicted from the ring (no serial arithmetic: the ring is searched by
+// equality, and its length is the retention policy).
+func (p *published) lookup(serial Serial) *rov.Index {
+	for _, sn := range p.snaps {
+		if sn.serial == serial {
+			return sn.table
+		}
+	}
+	return nil
 }
 
 // serialSnapshot pairs a serial number with the immutable table the cache
@@ -53,27 +157,60 @@ type serialSnapshot struct {
 	table  *rov.Index
 }
 
-type conn struct {
-	c  net.Conn
-	mu sync.Mutex // serializes writes (handler vs. notify broadcast)
-	// version is fixed by the first PDU received from the router.
+// connState is a connection's lifecycle: active (readable, writable),
+// closing (a terminal Error Report is queued; the writer closes the socket
+// once the queue drains), dead (torn down, deregistered).
+type connState uint8
+
+const (
+	connActive connState = iota
+	connClosing
+	connDead
+)
+
+// outKind tags a queued outbound response descriptor.
+type outKind uint8
+
+const (
+	outFull   outKind = iota // Reset Query answer: full-table response
+	outSerial                // Serial Query answer: delta, empty update, or Cache Reset
+	outError                 // terminal Error Report (conn moves to connClosing)
+)
+
+// outItem is one queued response. Queues hold descriptors, not materialized
+// PDUs: the writer renders the response from the published state at write
+// time, so a deep queue costs bytes per entry, not a table copy, and a
+// delayed answer reflects the freshest data.
+type outItem struct {
+	kind    outKind
 	version byte
+	query   SerialQuery // outSerial
+	errCode uint16      // outError
+	errText string
 }
 
-func (c *conn) send(version byte, pdus ...PDU) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, p := range pdus {
-		// c.mu is per-connection, so one slow router only stalls its own
-		// handler/notify pair, not the whole cache; decoupling notify fan-out
-		// from the write path is tracked by the ROADMAP's "cache server at
-		// router-population scale" item.
-		//lint:ignore blockinglock per-connection write lock; fan-out decoupling tracked by the ROADMAP's "cache server at router-population scale" item
-		if err := WritePDU(c.c, version, p); err != nil {
-			return err
-		}
-	}
-	return nil
+type conn struct {
+	c     net.Conn
+	shard *connShard
+	// bw is the connection's reused encode buffer: streamed responses write
+	// through it PDU by PDU, so a full-table answer is allocation-bounded
+	// instead of materializing len(vrps)+2 PDU values.
+	bw *bufio.Writer
+
+	mu      sync.Mutex
+	version byte // fixed by the most recent PDU received from the router
+	state   connState
+	// The coalescing notify mailbox: newest serial wins (RFC 1982 compare),
+	// so pending notifies occupy one slot no matter how fast the cache
+	// publishes.
+	notifySerial Serial
+	hasNotify    bool
+	queue        []outItem
+	// scheduled marks the conn as either waiting in dispatchQ or being
+	// drained by a writer — the invariant that keeps each conn owned by at
+	// most one writer at a time, so PDU framing on the socket is never
+	// interleaved.
+	scheduled bool
 }
 
 // NewServer creates a cache serving the given initial VRP set.
@@ -82,33 +219,30 @@ func NewServer(initial *rpki.Set) *Server {
 		initial = rpki.NewSet(nil)
 	}
 	s := &Server{
-		Refresh:    3600,
-		Retry:      600,
-		Expire:     7200,
-		KeepDeltas: 16,
-		sessionID:  0x5eed,
-		serial:     1,
-		current:    initial,
-		live:       rov.NewLiveIndex(initial),
-		conns:      make(map[*conn]struct{}),
+		Refresh:      3600,
+		Retry:        600,
+		Expire:       7200,
+		KeepDeltas:   16,
+		Writers:      4,
+		QueueDepth:   32,
+		WriteTimeout: 30 * time.Second,
+		live:         rov.NewLiveIndex(initial),
+		stopCh:       make(chan struct{}),
 	}
-	s.snaps = []serialSnapshot{{serial: s.serial, table: s.live.Snapshot()}}
+	p := &published{session: 0x5eed, serial: 1}
+	p.snaps = []serialSnapshot{{serial: p.serial, table: s.live.Snapshot()}}
+	s.pub.Store(p)
+	for i := range s.shards {
+		s.shards[i].conns = make(map[*conn]struct{})
+	}
 	return s
 }
 
-// Serial returns the current serial number.
-func (s *Server) Serial() Serial {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.serial
-}
+// Serial returns the current serial number (lock-free).
+func (s *Server) Serial() Serial { return s.pub.Load().serial }
 
-// SessionID returns the cache session identifier.
-func (s *Server) SessionID() uint16 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessionID
-}
+// SessionID returns the cache session identifier (lock-free).
+func (s *Server) SessionID() uint16 { return s.pub.Load().session }
 
 // SetSession overrides the session ID and serial the cache serves from,
 // before any router connects. A cache restarted from a state snapshot keeps
@@ -116,100 +250,408 @@ func (s *Server) SessionID() uint16 {
 // Serial Query; a cache restarted fresh picks a new session ID, which (per
 // RFC 8210 §5.5) forces routers through Cache Reset and a full resync.
 func (s *Server) SetSession(id uint16, serial Serial) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sessionID = id
-	s.serial = serial
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	// Prior serials belong to the old numbering; only the current table is
 	// answerable incrementally from here.
-	s.snaps = append(s.snaps[:0], serialSnapshot{serial: serial, table: s.live.Snapshot()})
+	s.pub.Store(&published{
+		session: id,
+		serial:  serial,
+		snaps:   []serialSnapshot{{serial: serial, table: s.live.Snapshot()}},
+	})
 }
 
-// UpdateSet replaces the served VRP set, applies the announce/withdraw delta
-// to the snapshot history, bumps the serial, and notifies connected routers.
+// UpdateSet replaces the served VRP set, publishes the new table under the
+// next serial, and notifies connected routers. The announce/withdraw delta
+// is derived with rov.Diff against the previous retained snapshot — the
+// same structural diff that synthesizes Serial Query answers — so applying
+// it keeps the whole ring on one arena lineage. (Building next's index is
+// necessarily O(next); callers holding an explicit delta should use
+// ApplyDelta, which is O(delta) end to end.)
+//
+// UpdateSet never performs socket I/O: notifying N routers is N coalescing
+// mailbox offers, so publish latency is independent of the slowest router.
 func (s *Server) UpdateSet(next *rpki.Set) {
-	s.mu.Lock()
-	var ann, wd []rpki.VRP
-	for _, p := range diffSets(s.current, next) {
-		if p.Flags == FlagAnnounce {
-			ann = append(ann, p.VRP)
-		} else {
-			wd = append(wd, p.VRP)
-		}
-	}
-	s.live.Apply(ann, wd)
-	s.serial++
-	s.snaps = append(s.snaps, serialSnapshot{serial: s.serial, table: s.live.Snapshot()})
-	// Retain KeepDeltas+2 snapshots: the current serial, plus the
-	// KeepDeltas+1 serials behind it that stay answerable (the same horizon
-	// the per-serial delta chain used to cover). No serial arithmetic — the
-	// ring's length is the retention policy.
-	if keep := s.KeepDeltas + 2; len(s.snaps) > keep {
-		n := copy(s.snaps, s.snaps[len(s.snaps)-keep:])
-		for i := n; i < len(s.snaps); i++ {
-			s.snaps[i] = serialSnapshot{} // release the evicted table
-		}
-		s.snaps = s.snaps[:n]
-	}
-	s.current = next
-	serial, session := s.serial, s.sessionID
-	conns := make([]*conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
+	s.writeMu.Lock()
+	prev := s.pub.Load().current()
+	ann, wd := rov.Diff(prev, rov.NewIndex(next))
+	session, serial := s.publishLocked(ann, wd)
+	s.writeMu.Unlock()
+	s.broadcastNotify(session, serial)
+}
 
-	for _, c := range conns {
-		c.mu.Lock()
-		v := c.version
-		c.mu.Unlock()
-		if err := c.send(v, &SerialNotify{SessionID: session, Serial: serial}); err != nil {
-			s.logf("rtr server: notify: %v", err)
+// ApplyDelta publishes an announce/withdraw delta directly — the O(delta)
+// publish path for callers that track changes instead of whole sets (a
+// delta-fed pipeline, the rtrload churn driver). Announces of VRPs already
+// present and withdrawals of absent VRPs are no-ops; responses stay exact
+// because every answer is synthesized by diffing retained snapshots. It
+// returns the serial the delta was published under.
+func (s *Server) ApplyDelta(announced, withdrawn []rpki.VRP) Serial {
+	s.writeMu.Lock()
+	session, serial := s.publishLocked(announced, withdrawn)
+	s.writeMu.Unlock()
+	s.broadcastNotify(session, serial)
+	return serial
+}
+
+// publishLocked applies a delta to the live table and swaps in the next
+// published value: serial bumped, new snapshot appended, ring trimmed to
+// KeepDeltas+2 (the current serial plus the KeepDeltas+1 serials behind it
+// that stay answerable). The snaps slice is freshly allocated per publish —
+// the ring is small — so the previous published value stays immutable under
+// concurrent readers. Caller holds writeMu.
+func (s *Server) publishLocked(announced, withdrawn []rpki.VRP) (session uint16, serial Serial) {
+	old := s.pub.Load()
+	s.live.Apply(announced, withdrawn)
+	serial = SerialAdvance(old.serial, 1)
+	keep := s.KeepDeltas + 2
+	if keep < 1 {
+		keep = 1
+	}
+	start := 0
+	if drop := len(old.snaps) + 1 - keep; drop > 0 {
+		start = drop
+	}
+	snaps := make([]serialSnapshot, 0, len(old.snaps)-start+1)
+	snaps = append(snaps, old.snaps[start:]...)
+	snaps = append(snaps, serialSnapshot{serial: serial, table: s.live.Snapshot()})
+	s.pub.Store(&published{session: old.session, serial: serial, snaps: snaps})
+	return old.session, serial
+}
+
+// broadcastNotify offers the new serial to every connection's notify
+// mailbox. Shard locks are held only to copy the membership, mailbox offers
+// take only the target's own lock, and queue handoff to the writer pool is
+// non-blocking — no socket is touched on this path.
+func (s *Server) broadcastNotify(session uint16, serial Serial) {
+	_ = session // notifies are rendered from the published state at write time
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.conns) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		conns := make([]*conn, 0, len(sh.conns))
+		for c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.Unlock()
+		for _, c := range conns {
+			s.offerNotify(c, serial)
 		}
 	}
 }
 
-// diffSets returns the prefix PDUs that transform old into next: withdrawals
-// for tuples only in old, announcements for tuples only in next.
-func diffSets(old, next *rpki.Set) []Prefix {
-	var out []Prefix
-	a, b := old.VRPs(), next.VRPs()
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
+// offerNotify coalesces serial into c's notify mailbox and schedules the
+// conn. Newest serial wins by RFC 1982 comparison; the mailbox is one slot,
+// so notify pressure can never overflow a router's queue.
+func (s *Server) offerNotify(c *conn, serial Serial) {
+	c.mu.Lock()
+	if c.state != connActive {
+		c.mu.Unlock()
+		return
+	}
+	if !c.hasNotify || SerialNewer(serial, c.notifySerial) {
+		c.notifySerial = serial
+	}
+	c.hasNotify = true
+	sched := !c.scheduled
+	c.scheduled = true
+	c.mu.Unlock()
+	if sched {
+		s.dispatch(c)
+	}
+}
+
+// enqueue appends a response descriptor to c's bounded outbound queue and
+// schedules the conn, disconnecting it on overflow. closeAfter marks the
+// item terminal: no further enqueues are accepted and the writer closes the
+// socket once the queue drains. Returns false when the conn is no longer
+// accepting work.
+func (s *Server) enqueue(c *conn, item outItem, closeAfter bool) bool {
+	depth := s.QueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	c.mu.Lock()
+	if c.state != connActive {
+		c.mu.Unlock()
+		return false
+	}
+	if len(c.queue) >= depth {
+		c.mu.Unlock()
+		s.logf("rtr server: %v: outbound queue overflow (%d pending); disconnecting", c.c.RemoteAddr(), depth)
+		s.disconnect(c)
+		return false
+	}
+	c.queue = append(c.queue, item)
+	if closeAfter {
+		c.state = connClosing
+	}
+	sched := !c.scheduled
+	c.scheduled = true
+	c.mu.Unlock()
+	if sched {
+		s.dispatch(c)
+	}
+	return true
+}
+
+// dispatch hands a scheduled conn to the writer pool. The wake send is
+// non-blocking: see the field comment on wake for why a dropped token can
+// never strand the queue.
+func (s *Server) dispatch(c *conn) {
+	s.dispatchMu.Lock()
+	s.dispatchQ = append(s.dispatchQ, c)
+	s.dispatchMu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// nextConn pops the oldest scheduled conn, or nil when none waits.
+func (s *Server) nextConn() *conn {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	if len(s.dispatchQ) == 0 {
+		return nil
+	}
+	c := s.dispatchQ[0]
+	copy(s.dispatchQ, s.dispatchQ[1:])
+	s.dispatchQ[len(s.dispatchQ)-1] = nil
+	s.dispatchQ = s.dispatchQ[:len(s.dispatchQ)-1]
+	return c
+}
+
+// startWriters launches the writer pool (once, on the first connection).
+func (s *Server) startWriters() {
+	n := s.Writers
+	if n <= 0 {
+		n = 4
+	}
+	s.wake = make(chan struct{}, n)
+	s.writerWG.Add(n)
+	for i := 0; i < n; i++ {
+		go s.writer()
+	}
+}
+
+// writer is one pool worker: drain scheduled conns, park on wake when the
+// dispatch queue is empty, exit on stopCh.
+func (s *Server) writer() {
+	defer s.writerWG.Done()
+	for {
+		c := s.nextConn()
+		if c == nil {
+			select {
+			case <-s.wake:
+			case <-s.stopCh:
+				return
+			}
+			continue
+		}
+		s.drain(c)
+	}
+}
+
+// drain writes c's pending output: the notify mailbox first (it supersedes
+// nothing — a notify may legally interleave anywhere in the stream — and
+// clearing it first keeps "new data" latency independent of queued
+// responses), then queued response descriptors in FIFO order. It returns
+// when the conn has no pending output (clearing scheduled under the same
+// lock that observed emptiness, so a concurrent enqueue either sees
+// scheduled and is picked up by this loop, or reschedules) or on write
+// error, which tears the conn down.
+func (s *Server) drain(c *conn) {
+	for {
+		c.mu.Lock()
+		if c.state == connDead {
+			c.scheduled = false
+			c.mu.Unlock()
+			return
+		}
+		var (
+			doNotify bool
+			serial   Serial
+			item     outItem
+			haveItem bool
+		)
 		switch {
-		case i >= len(a):
-			out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
-			j++
-		case j >= len(b):
-			out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
-			i++
+		case c.hasNotify:
+			doNotify, serial = true, c.notifySerial
+			c.hasNotify = false
+		case len(c.queue) > 0:
+			item, haveItem = c.queue[0], true
+			copy(c.queue, c.queue[1:])
+			c.queue[len(c.queue)-1] = outItem{}
+			c.queue = c.queue[:len(c.queue)-1]
 		default:
-			switch c := a[i].Compare(b[j]); {
-			case c == 0:
-				i++
-				j++
-			case c < 0:
-				out = append(out, Prefix{Flags: FlagWithdraw, VRP: a[i]})
-				i++
-			default:
-				out = append(out, Prefix{Flags: FlagAnnounce, VRP: b[j]})
-				j++
+			closing := c.state == connClosing
+			c.scheduled = false
+			c.mu.Unlock()
+			if closing {
+				s.disconnect(c)
+			}
+			return
+		}
+		version := c.version
+		c.mu.Unlock()
+
+		var err error
+		switch {
+		case doNotify:
+			err = s.writeNotify(c, version, serial)
+		case haveItem:
+			err = s.writeItem(c, item)
+		}
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("rtr server: write to %v: %v", c.c.RemoteAddr(), err)
+			}
+			s.disconnect(c)
+			return
+		}
+	}
+}
+
+// disconnect tears a conn down from any goroutine: mark it dead, drop
+// pending output, close the socket, deregister. Idempotent — the handler's
+// exit path, a writer's failed write, an overflow, and Close may race here.
+func (s *Server) disconnect(c *conn) {
+	c.mu.Lock()
+	if c.state == connDead {
+		c.mu.Unlock()
+		return
+	}
+	c.state = connDead
+	c.queue = nil
+	c.hasNotify = false
+	c.mu.Unlock()
+	c.c.Close()
+	c.shard.remove(c)
+}
+
+// writeNotify renders and writes one Serial Notify. The session comes from
+// the published state at write time; the serial is the coalesced mailbox
+// value (a router syncing to it learns of anything newer from End of Data).
+func (s *Server) writeNotify(c *conn, version byte, serial Serial) error {
+	p := s.pub.Load()
+	s.setWriteDeadline(c)
+	return WritePDU(c.c, version, &SerialNotify{SessionID: p.session, Serial: serial})
+}
+
+// writeItem renders and writes one queued response descriptor.
+func (s *Server) writeItem(c *conn, item outItem) error {
+	s.setWriteDeadline(c)
+	switch item.kind {
+	case outFull:
+		return s.streamFull(c, item.version)
+	case outSerial:
+		return s.streamSerial(c, item.version, item.query)
+	default: // outError
+		return WritePDU(c.c, item.version, &ErrorReport{Code: item.errCode, Text: item.errText})
+	}
+}
+
+func (s *Server) setWriteDeadline(c *conn) {
+	d := s.WriteTimeout
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	// Errors (e.g. an already-closed socket) surface on the write itself.
+	_ = c.c.SetWriteDeadline(time.Now().Add(d))
+}
+
+// streamFull answers a Reset Query: Cache Response, every VRP, End of Data,
+// streamed through the connection's reused encode buffer with one Prefix
+// value reused for every VRP — the response is allocation-bounded
+// regardless of table size.
+func (s *Server) streamFull(c *conn, version byte) error {
+	p := s.pub.Load()
+	c.bw.Reset(c.c)
+	if err := WritePDU(c.bw, version, &CacheResponse{SessionID: p.session}); err != nil {
+		return err
+	}
+	// Encode each prefix into the bufio writer's spare capacity
+	// (AvailableBuffer) instead of through WritePDU: an escaping stack
+	// buffer per PDU would cost an allocation per VRP on a path that runs
+	// len(table) times per Reset Query.
+	var pp Prefix
+	pp.Flags = FlagAnnounce
+	var werr error
+	p.current().VisitVRPs(func(v rpki.VRP) bool {
+		pp.VRP = v
+		if c.bw.Available() < 32 { // keep AvailableBuffer large enough to encode in place
+			if werr = c.bw.Flush(); werr != nil {
+				return false
 			}
 		}
+		_, werr = c.bw.Write(appendPrefix(c.bw.AvailableBuffer(), version, &pp))
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
 	}
-	return out
+	if err := WritePDU(c.bw, version, s.endOfData(p.session, p.serial)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// streamSerial answers a Serial Query from the published state at write
+// time: an incremental update when the session matches and the router's
+// serial is still in the snapshot ring, otherwise Cache Reset. The update
+// is synthesized as the structural diff between the retained snapshot and
+// the current table — no stored chain, O(changed) between any two retained
+// serials (a query at the current serial diffs a snapshot against itself:
+// the empty update).
+func (s *Server) streamSerial(c *conn, version byte, q SerialQuery) error {
+	p := s.pub.Load()
+	if q.SessionID != p.session {
+		return WritePDU(c.c, version, &CacheReset{})
+	}
+	from := p.lookup(q.Serial)
+	if from == nil {
+		return WritePDU(c.c, version, &CacheReset{})
+	}
+	ann, wd := rov.Diff(from, p.current())
+	c.bw.Reset(c.c)
+	if err := WritePDU(c.bw, version, &CacheResponse{SessionID: p.session}); err != nil {
+		return err
+	}
+	var pp Prefix
+	pp.Flags = FlagAnnounce
+	for i := range ann {
+		pp.VRP = ann[i]
+		if _, err := c.bw.Write(appendPrefix(c.bw.AvailableBuffer(), version, &pp)); err != nil {
+			return err
+		}
+	}
+	pp.Flags = FlagWithdraw
+	for i := range wd {
+		pp.VRP = wd[i]
+		if _, err := c.bw.Write(appendPrefix(c.bw.AvailableBuffer(), version, &pp)); err != nil {
+			return err
+		}
+	}
+	if err := WritePDU(c.bw, version, s.endOfData(p.session, p.serial)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // Serve accepts router connections on l until Close is called. It always
 // returns a non-nil error (net.ErrClosed after Close).
 func (s *Server) Serve(l net.Listener) error {
-	s.mu.Lock()
+	s.stateMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.stateMu.Unlock()
 		return errors.New("rtr: server closed")
 	}
 	s.listener = l
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -229,19 +671,35 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Close stops the listener and disconnects all routers.
+// Close stops the listener, disconnects all routers, and stops the writer
+// pool.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	var err error
-	if s.listener != nil {
+	if s.listener != nil && !alreadyClosed {
 		err = s.listener.Close()
 	}
-	for c := range s.conns {
-		c.c.Close()
+	s.stateMu.Unlock()
+	if alreadyClosed {
+		return nil
 	}
-	s.conns = make(map[*conn]struct{})
+	close(s.stopCh)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		conns := make([]*conn, 0, len(sh.conns))
+		for c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.Unlock()
+		for _, c := range conns {
+			s.disconnect(c)
+		}
+	}
+	s.writerWG.Wait()
 	return err
 }
 
@@ -251,23 +709,39 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// handle runs one router session.
+// ConnCount reports the number of currently registered router sessions
+// across all shards. It is an observability hook: the soak harness and the
+// slow-router tests use it to watch routers being disconnected by write
+// deadline or queue overflow.
+func (s *Server) ConnCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.conns)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// handle runs one router session: it owns the read side, parses queries,
+// and enqueues response descriptors for the writer pool. It never writes to
+// the socket itself.
 func (s *Server) handle(nc net.Conn) {
-	c := &conn{c: nc, version: Version1}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		nc.Close()
+	s.startPool.Do(s.startWriters)
+	sh := &s.shards[s.nextShard.Add(1)%connShards]
+	c := &conn{
+		c:       nc,
+		shard:   sh,
+		bw:      bufio.NewWriterSize(nc, 4096),
+		version: Version1,
+		state:   connActive,
+	}
+	if !sh.add(c) {
+		nc.Close() // lost the race with Close
 		return
 	}
-	s.conns[c] = struct{}{}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, c)
-		s.mu.Unlock()
-		nc.Close()
-	}()
+	defer s.release(c)
 
 	for {
 		pdu, version, err := ReadPDU(nc)
@@ -285,9 +759,7 @@ func (s *Server) handle(nc net.Conn) {
 					v = c.version
 					c.mu.Unlock()
 				}
-				if serr := c.send(v, &ErrorReport{Code: pe.Code, Text: pe.Msg}); serr != nil {
-					s.logf("rtr server: error report: %v", serr)
-				}
+				s.enqueue(c, outItem{kind: outError, version: v, errCode: pe.Code, errText: pe.Msg}, true)
 			}
 			if !errors.Is(err, net.ErrClosed) {
 				s.logf("rtr server: read: %v", err)
@@ -299,83 +771,38 @@ func (s *Server) handle(nc net.Conn) {
 		c.mu.Unlock()
 		switch q := pdu.(type) {
 		case *ResetQuery:
-			if err := s.sendFull(c, version); err != nil {
-				s.logf("rtr server: reset response: %v", err)
+			if !s.enqueue(c, outItem{kind: outFull, version: version}, false) {
 				return
 			}
 		case *SerialQuery:
-			if err := s.answerSerialQuery(c, version, q); err != nil {
-				s.logf("rtr server: serial response: %v", err)
+			if !s.enqueue(c, outItem{kind: outSerial, version: version, query: *q}, false) {
 				return
 			}
 		case *ErrorReport:
 			s.logf("rtr server: router reported error %d: %s", q.Code, q.Text)
 			return
 		default:
-			if serr := c.send(version, &ErrorReport{
-				Code: ErrInvalidRequest,
-				Text: fmt.Sprintf("unexpected PDU type %d from router", pdu.Type()),
-			}); serr != nil {
-				s.logf("rtr server: error report: %v", serr)
-			}
+			s.enqueue(c, outItem{
+				kind:    outError,
+				version: version,
+				errCode: ErrInvalidRequest,
+				errText: fmt.Sprintf("unexpected PDU type %d from router", pdu.Type()),
+			}, true)
 			return
 		}
 	}
 }
 
-// sendFull answers a Reset Query: Cache Response, every VRP, End of Data.
-func (s *Server) sendFull(c *conn, version byte) error {
-	s.mu.Lock()
-	session, serial := s.sessionID, s.serial
-	vrps := s.current.VRPs()
-	s.mu.Unlock()
-	pdus := make([]PDU, 0, len(vrps)+2)
-	pdus = append(pdus, &CacheResponse{SessionID: session})
-	for i := range vrps {
-		pdus = append(pdus, &Prefix{Flags: FlagAnnounce, VRP: vrps[i]})
+// release ends a handler: an active conn is torn down; a closing conn is
+// left to its writer, which closes the socket once the terminal Error
+// Report drains.
+func (s *Server) release(c *conn) {
+	c.mu.Lock()
+	st := c.state
+	c.mu.Unlock()
+	if st == connActive {
+		s.disconnect(c)
 	}
-	pdus = append(pdus, s.endOfData(session, serial))
-	return c.send(version, pdus...)
-}
-
-// answerSerialQuery sends an incremental update when the session matches and
-// the router's serial is still in the snapshot ring; otherwise Cache Reset.
-// The update is synthesized on demand as the structural diff between the
-// retained snapshot and the current table — there is no stored chain to
-// walk, and any retained serial pair diffs in O(changed).
-func (s *Server) answerSerialQuery(c *conn, version byte, q *SerialQuery) error {
-	s.mu.Lock()
-	session, serial := s.sessionID, s.serial
-	ok := q.SessionID == session
-	var ann, wd []rpki.VRP
-	if ok && q.Serial != serial {
-		var from *rov.Index
-		for _, sn := range s.snaps {
-			if sn.serial == q.Serial {
-				from = sn.table
-				break
-			}
-		}
-		if from == nil {
-			ok = false
-		} else {
-			ann, wd = rov.Diff(from, s.live.Snapshot())
-		}
-	}
-	s.mu.Unlock()
-	if !ok {
-		return c.send(version, &CacheReset{})
-	}
-	pdus := make([]PDU, 0, len(ann)+len(wd)+2)
-	pdus = append(pdus, &CacheResponse{SessionID: session})
-	for i := range ann {
-		pdus = append(pdus, &Prefix{Flags: FlagAnnounce, VRP: ann[i]})
-	}
-	for i := range wd {
-		pdus = append(pdus, &Prefix{Flags: FlagWithdraw, VRP: wd[i]})
-	}
-	pdus = append(pdus, s.endOfData(session, serial))
-	return c.send(version, pdus...)
 }
 
 func (s *Server) endOfData(session uint16, serial Serial) *EndOfData {

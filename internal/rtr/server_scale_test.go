@@ -1,0 +1,289 @@
+package rtr
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rpki"
+)
+
+// bigVRPSet builds an n-VRP IPv4 set large enough that a full-table
+// response cannot fit in kernel socket buffers — the lever the slow-router
+// tests use to wedge a writer on a router that stops reading.
+func bigVRPSet(n int) *rpki.Set {
+	vrps := make([]rpki.VRP, 0, n)
+	for i := 0; i < n; i++ {
+		vrps = append(vrps, rpki.VRP{
+			Prefix:    mp(fmt.Sprintf("%d.%d.%d.0/24", 10+(i>>16), (i>>8)&0xff, i&0xff)),
+			MaxLength: 24,
+			AS:        rpki.ASN(64496 + i%1000),
+		})
+	}
+	return rpki.NewSet(vrps)
+}
+
+// TestSlowRouterIsolation is the regression test for the retired
+// blockinglock suppression: one router wedges its TCP read side with a
+// multi-megabyte response pending, and the cache must keep publishing at
+// full speed — UpdateSet latency bounded, every healthy router still
+// notified — then disconnect the wedged router by write deadline instead
+// of ever blocking a publisher on its socket.
+func TestSlowRouterIsolation(t *testing.T) {
+	set := bigVRPSet(50_000)
+	srv := NewServer(set)
+	srv.WriteTimeout = 300 * time.Millisecond
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	const healthy = 4
+	clients := make([]*Client, healthy)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+
+	// The stalled router: shrink its receive buffer so the server's writes
+	// hit a closed TCP window fast, queue several full-table responses, and
+	// never read a byte.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if tc, ok := stalled.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	for i := 0; i < 8; i++ {
+		if err := WritePDU(stalled, Version1, &ResetQuery{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give a pool writer time to pick the wedged conn up and block mid-write.
+	time.Sleep(100 * time.Millisecond)
+
+	// Publish through the wedge. Each UpdateSet must return promptly: the
+	// notify path is queue handoff only. The bound is loose enough for a
+	// loaded CI machine but far below the write deadline a blocking send
+	// would eat per stalled router.
+	cur := set.VRPs()
+	for i := 0; i < 3; i++ {
+		cur = append(cur, rpki.VRP{Prefix: mp("192.0.2.0/24"), MaxLength: uint8(25 + i), AS: 65000})
+		next := rpki.NewSet(cur)
+		start := time.Now()
+		srv.UpdateSet(next)
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("UpdateSet #%d took %v with one stalled router — publisher is coupled to router sockets", i, d)
+		}
+		for j, c := range clients {
+			if _, err := c.WaitNotify(); err != nil {
+				t.Fatalf("healthy client %d missed notify #%d: %v", j, i, err)
+			}
+			if _, err := c.Sync(); err != nil {
+				t.Fatalf("healthy client %d sync #%d: %v", j, i, err)
+			}
+		}
+	}
+
+	// The wedged router is disconnected by the write deadline, not tolerated
+	// forever. The registry is the observable: the kernel may sit on the
+	// closed socket's undelivered bytes indefinitely while the peer's window
+	// is closed, so the client side is no witness.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnCount() != healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled router still registered: connCount = %d, want %d", srv.ConnCount(), healthy)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueueOverflowDisconnect pins the overflow policy: a router that keeps
+// sending queries without draining responses overflows its bounded outbound
+// queue and is disconnected — the queue never grows without bound and the
+// writer pool never owes it unbounded work.
+func TestQueueOverflowDisconnect(t *testing.T) {
+	srv := NewServer(bigVRPSet(50_000))
+	srv.QueueDepth = 4
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	// Far more queries than QueueDepth, none of their responses read. The
+	// first response wedges a writer against the closed window; the queue
+	// passes the bound; the server disconnects.
+	for i := 0; i < 40; i++ {
+		if err := WritePDU(nc, Version1, &ResetQuery{}); err != nil {
+			break // already disconnected: also a pass
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.ConnCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("overflowing router still registered: connCount = %d", srv.ConnCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentConnectDisconnectDuringPublish churns sessions while the
+// publisher runs flat out (meaningful under -race): registration,
+// disconnection, notify fan-out, and the atomic publish swap must compose
+// without a torn read or a leaked registration.
+func TestConcurrentConnectDisconnectDuringPublish(t *testing.T) {
+	srv := NewServer(testVRPs())
+	addr, stop := startServer(t, srv)
+	defer stop()
+
+	done := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		v := rpki.VRP{Prefix: mp("198.51.100.0/24"), MaxLength: 24, AS: 64511}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				srv.ApplyDelta([]rpki.VRP{v}, nil)
+			} else {
+				srv.ApplyDelta(nil, []rpki.VRP{v})
+			}
+		}
+	}()
+
+	const connectors, rounds = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, connectors)
+	for g := 0; g < connectors; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c, err := Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Reset(); err != nil {
+					c.Close()
+					errs <- err
+					return
+				}
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	pubWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("connect/sync during publish churn: %v", err)
+	}
+
+	// Every churned session deregisters once its handler observes the close.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry leak: connCount = %d after all clients closed", srv.ConnCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A fresh client converges on the final table.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	want := rpki.NewSet(srv.pub.Load().current().AppendVRPs(nil))
+	if !c.Set().Equal(want) {
+		t.Fatalf("fresh client table %d VRPs != published %d", c.Len(), want.Len())
+	}
+}
+
+// TestPublishedRingConsistency reads the published value concurrently with
+// publishing (meaningful under -race) and checks its structural invariants
+// on every observed version: bounded ring, strictly consecutive serials,
+// the current serial resolvable to the current table, a constant session.
+func TestPublishedRingConsistency(t *testing.T) {
+	srv := NewServer(testVRPs())
+	srv.KeepDeltas = 5
+	session := srv.SessionID()
+
+	stopRead := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			p := srv.pub.Load()
+			if n := len(p.snaps); n < 1 || n > srv.KeepDeltas+2 {
+				t.Errorf("ring size %d outside [1, %d]", n, srv.KeepDeltas+2)
+				return
+			}
+			if p.session != session {
+				t.Errorf("session changed: %#x -> %#x", session, p.session)
+				return
+			}
+			for i := 1; i < len(p.snaps); i++ {
+				if p.snaps[i].serial != SerialAdvance(p.snaps[i-1].serial, 1) {
+					t.Errorf("ring serials not consecutive: %d after %d", p.snaps[i].serial, p.snaps[i-1].serial)
+					return
+				}
+			}
+			if p.snaps[len(p.snaps)-1].serial != p.serial {
+				t.Errorf("published serial %d != last ring serial %d", p.serial, p.snaps[len(p.snaps)-1].serial)
+				return
+			}
+			if p.lookup(p.serial) != p.current() {
+				t.Error("lookup(current serial) != current table")
+				return
+			}
+		}
+	}()
+
+	v := rpki.VRP{Prefix: mp("203.0.113.0/24"), MaxLength: 24, AS: 64501}
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			srv.ApplyDelta([]rpki.VRP{v}, nil)
+		} else {
+			srv.ApplyDelta(nil, []rpki.VRP{v})
+		}
+	}
+	close(stopRead)
+	wg.Wait()
+
+	if got := srv.Serial(); got != SerialAdvance(1, 500) {
+		t.Fatalf("serial after 500 publishes = %d, want %d", got, SerialAdvance(1, 500))
+	}
+	srv.Close()
+}

@@ -332,7 +332,7 @@ func (s *Supervisor) generation() (syncedAny bool, err error) {
 	c := NewClientResume(conn, st)
 	c.Version = s.Version
 	g := &generation{sup: s, client: c, resumed: st != nil, discontinuity: disc}
-	c.Subscribe(g.relay)
+	c.SubscribeUpdates(g.relay)
 
 	p := NewPoller(c)
 	p.Refresh, p.Retry, p.Expire = refresh, retry, expire
@@ -367,6 +367,12 @@ func (s *Supervisor) generation() (syncedAny bool, err error) {
 	// framed, e.g. persistent Error Reports): close it, or each redial
 	// cycle would leak a connection and its dispatch goroutine.
 	c.Close()
+	// Drain the relay before the generation ends: OnDown fires next, and a
+	// failover coordinator must observe every delta this generation
+	// committed (its subscriber-fed mirror current) when it decides where to
+	// switch. This also pins generations apart — update delivery never
+	// crosses into the next client's stream.
+	c.FlushSubscribers()
 
 	// Carry the session and the adopted timers into the next generation.
 	// The client's table survives its dispatch loop, and the poller's
@@ -383,37 +389,54 @@ func (s *Supervisor) generation() (syncedAny bool, err error) {
 }
 
 // generation is the per-client glue: the relay registered as the client's
-// subscriber and the poller's OnUpdate hook. relay runs on the client's
-// dispatch goroutine, onUpdate on the supervisor goroutine; for any one
-// update, relay happens before the producing sync returns, which happens
-// before onUpdate — so the fields below need no lock.
+// update subscriber and the poller's OnUpdate hook. relay runs on the
+// client's per-subscriber drainer goroutine, onUpdate on the supervisor
+// goroutine — but onUpdate starts by flushing the client's subscribers, so
+// for any one update the relay still completes before the producing sync's
+// OnUpdate bookkeeping runs, exactly as when delivery was synchronous.
+// deliveredAny is touched only on the drainer goroutine, syncedAny only on
+// the supervisor goroutine; neither needs a lock.
 type generation struct {
 	sup    *Supervisor
 	client *Client
 	// resumed records that this client was seeded with carried state;
 	// discontinuity that subscribers hold a table this client cannot diff
 	// against (its first sync is delivered as a reset via onUpdate, and
-	// relay suppresses the corresponding delta).
+	// relay suppresses the corresponding update).
 	resumed       bool
 	discontinuity bool
+	deliveredAny  bool
 	syncedAny     bool
 }
 
-// relay forwards a client delta to the supervisor's subscribers. The first
-// delta of a discontinuous generation is suppressed: the client was seeded
-// empty, so that delta is the whole table announced at once, and onUpdate
-// delivers it through the reset path instead.
-func (g *generation) relay(announced, withdrawn []rpki.VRP) {
-	if g.discontinuity && !g.syncedAny {
+// relay forwards a client update to the supervisor's subscribers. The first
+// update of a discontinuous generation is suppressed: the client was seeded
+// empty, so that update is the whole table announced at once, and onUpdate
+// delivers it through the reset path instead. (The client delivers full
+// syncs even when their delta is empty — a discontinuous resync to an
+// identical or empty table must still consume the suppression here, or the
+// next real delta would be swallowed.)
+func (g *generation) relay(u Update) {
+	if g.discontinuity && !g.deliveredAny {
+		g.deliveredAny = true
 		return
 	}
-	g.sup.deliverDelta(announced, withdrawn)
+	g.deliveredAny = true
+	if len(u.Announced) == 0 && len(u.Withdrawn) == 0 {
+		return
+	}
+	g.sup.deliverDelta(u.Announced, u.Withdrawn)
 }
 
 // onUpdate runs after every successful sync. The first one classifies how
 // the generation rejoined the cache (serial resume, reset fallback, or
 // subscriber reset) before the common bookkeeping.
 func (g *generation) onUpdate(serial Serial) {
+	// Close the async-delivery window before anything downstream runs: once
+	// the flush returns, every subscriber has observed this sync's update,
+	// so OnUpdate consumers (failover coordinators reading subscriber-fed
+	// mirrors) see delivery and bookkeeping in the pre-fan-out order.
+	g.client.FlushSubscribers()
 	if !g.syncedAny {
 		if g.discontinuity {
 			// Deliver the reset before marking the sync done so a
@@ -431,7 +454,8 @@ func (g *generation) onUpdate(serial Serial) {
 }
 
 // deliverDelta fans a delta out to the Subscribe consumers, sequentially in
-// registration order, on the calling (dispatch) goroutine.
+// registration order, on the calling goroutine (the client relay's drainer,
+// or the supervisor goroutine for a reset's suppressed counterpart).
 func (s *Supervisor) deliverDelta(announced, withdrawn []rpki.VRP) {
 	s.mu.Lock()
 	subs := make([]func(announced, withdrawn []rpki.VRP), len(s.subs))
